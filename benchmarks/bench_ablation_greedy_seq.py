@@ -1,0 +1,41 @@
+"""Ablation A — GREEDY-SEQ candidate reduction vs the full space.
+
+The exact solvers are exponential in the number of candidate indexes;
+GREEDY-SEQ searches a reduced configuration set instead. This ablation
+quantifies the trade: configurations examined, wall time, and how close
+the reduced-space optimum lands to the full-space optimum.
+"""
+
+import pytest
+
+from repro.bench import run_ablation_greedy_seq
+
+
+@pytest.fixture(scope="module")
+def ablation(paper_setup):
+    return run_ablation_greedy_seq(paper_setup, k=2, max_indexes=2)
+
+
+def test_ablation_report(ablation, capsys):
+    with capsys.disabled():
+        print("\n" + ablation.format() + "\n")
+
+
+def test_reduction_shrinks_the_space(ablation):
+    assert ablation.reduced_configs < ablation.full_configs
+
+
+def test_reduction_quality_is_close(ablation):
+    # The reduced-space optimum cannot beat the full-space optimum and
+    # should land within 25% of it on the paper workload (it contains
+    # every per-block best).
+    assert ablation.cost_ratio >= 1.0 - 1e-9
+    assert ablation.cost_ratio < 1.25
+
+
+def test_bench_greedy_seq(benchmark, paper_setup):
+    result = benchmark.pedantic(
+        lambda: run_ablation_greedy_seq(paper_setup, k=2,
+                                        max_indexes=2),
+        rounds=1, iterations=1)
+    assert result.reduced_configs >= 2

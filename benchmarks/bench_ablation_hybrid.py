@@ -1,0 +1,64 @@
+"""Ablation C — the hybrid's switch point.
+
+Section 6.4 suggests switching from the k-aware graph to merging as k
+grows. This ablation records which technique the hybrid picks per k
+and verifies the choice tracks the cheaper side.
+"""
+
+import pytest
+
+from repro.bench import COUNT_INITIAL_CHANGE, run_ablation_hybrid
+from repro.core import build_cost_matrices, solve_hybrid
+from repro.core.problem import ProblemInstance
+from repro.core.structures import EMPTY_CONFIGURATION
+from repro.workload import segment_by_count
+
+
+@pytest.fixture(scope="module")
+def ablation(paper_setup):
+    return run_ablation_hybrid(paper_setup)
+
+
+def test_ablation_report(ablation, capsys):
+    with capsys.disabled():
+        print("\n" + ablation.format() + "\n")
+
+
+def test_hybrid_switches_toward_merging_for_large_k(ablation):
+    methods = ablation.methods
+    assert methods[0] == "kaware", (
+        "small k should favor the k-aware graph")
+    assert methods[-1] in ("merging", "unconstrained"), (
+        "large k should favor merging (or need no work at all)")
+    # Once the hybrid switches away from the graph it never switches
+    # back: the work estimates are monotone in k.
+    switched = False
+    for method in methods:
+        if method != "kaware":
+            switched = True
+        elif switched:
+            pytest.fail(f"hybrid switched back to kaware: {methods}")
+
+
+def test_hybrid_avoids_the_catastrophic_side(ablation):
+    # The estimates are asymptotic, so the hybrid may not always pick
+    # the measured winner — but it must never pick a side that is an
+    # order of magnitude slower than its own worst *chosen* cost, and
+    # it must beat the worse pure technique at the extremes.
+    assert ablation.hybrid_seconds[0] < \
+        ablation.merging_seconds[0] * 1.5 + 5e-3
+    assert ablation.hybrid_seconds[-1] < \
+        ablation.graph_seconds[-1] * 3.0 + 5e-3
+
+
+def test_bench_hybrid_solver(benchmark, paper_setup):
+    segments = segment_by_count(paper_setup.workloads["W1"],
+                                max(1, paper_setup.block_size // 10))
+    problem = ProblemInstance(segments=tuple(segments),
+                              configurations=paper_setup.configurations,
+                              initial=EMPTY_CONFIGURATION,
+                              final=EMPTY_CONFIGURATION)
+    matrices = build_cost_matrices(problem, paper_setup.provider)
+    result = benchmark(lambda: solve_hybrid(matrices, 6,
+                                            COUNT_INITIAL_CHANGE))
+    assert result.change_count <= 6

@@ -1,0 +1,42 @@
+"""Ablation B — path-ranking effort as k shrinks.
+
+Section 5 warns the ranking approach's worst case is "quite bad,
+particularly for small k": every path cheaper than the first feasible
+one must be enumerated. This ablation measures exactly that — paths
+examined per k on a W1 prefix — and cross-checks that the first
+feasible path is indeed the k-aware optimum.
+"""
+
+import pytest
+
+from repro.bench import run_ablation_ranking
+
+
+@pytest.fixture(scope="module")
+def ablation(paper_setup):
+    return run_ablation_ranking(paper_setup, ks=(6, 5, 4, 3, 2),
+                                n_blocks=12)
+
+
+def test_ablation_report(ablation, capsys):
+    with capsys.disabled():
+        print("\n" + ablation.format() + "\n")
+
+
+def test_ranking_always_returns_the_optimum(ablation):
+    assert all(ablation.optimal)
+
+
+def test_effort_explodes_as_k_shrinks(ablation):
+    # Paths examined must be non-decreasing as k decreases, and the
+    # smallest k must cost dramatically more than the largest.
+    paths = ablation.paths_examined
+    assert all(b >= a for a, b in zip(paths, paths[1:]))
+    assert paths[-1] > 10 * max(1, paths[0])
+
+
+def test_bench_ranking_small_instance(benchmark, paper_setup):
+    result = benchmark.pedantic(
+        lambda: run_ablation_ranking(paper_setup, ks=(4,), n_blocks=12),
+        rounds=1, iterations=1)
+    assert result.optimal == [True]

@@ -1,0 +1,44 @@
+"""Ablation D — the space bound b over a multi-index design space.
+
+Definition 1 carries a storage bound ``SIZE(Ci) <= b`` that the paper's
+restricted experiment never exercises (every single-index config fits).
+This ablation enumerates multi-index configurations under several
+bounds and checks that (a) tighter bounds admit fewer configurations
+and (b) the optimal constrained cost is non-increasing in b.
+"""
+
+import pytest
+
+from repro.bench import run_ablation_space_bound
+
+
+@pytest.fixture(scope="module")
+def ablation(paper_setup):
+    return run_ablation_space_bound(
+        paper_setup, bounds_mb=(1.5, 3.0, 6.0, 12.0), k=2,
+        max_indexes=3)
+
+
+def test_ablation_report(ablation, capsys):
+    with capsys.disabled():
+        print("\n" + ablation.format() + "\n")
+
+
+def test_larger_bounds_admit_more_configurations(ablation):
+    counts = ablation.n_configs
+    assert all(b >= a for a, b in zip(counts, counts[1:]))
+    assert counts[-1] > counts[0]
+
+
+def test_cost_never_increases_with_budget(ablation):
+    costs = ablation.costs
+    for tighter, looser in zip(costs, costs[1:]):
+        assert looser <= tighter + 1e-6
+
+
+def test_bench_space_bound_sweep(benchmark, paper_setup):
+    result = benchmark.pedantic(
+        lambda: run_ablation_space_bound(
+            paper_setup, bounds_mb=(3.0,), k=2, max_indexes=2),
+        rounds=1, iterations=1)
+    assert result.n_configs[0] >= 7

@@ -1,0 +1,53 @@
+"""Extension 1 — choosing k automatically (open question 1).
+
+The paper leaves "how should k be chosen?" open, suggesting domain
+knowledge (count the anticipated fluctuations — 2 major shifts for
+W1). This bench shows both of our general strategies recover exactly
+that without domain knowledge: the cost-curve knee lands on k=2, and
+validation against jittered trace variants picks a small k rather than
+the overfit maximum.
+"""
+
+import pytest
+
+from repro.bench import run_extension_ktuning
+
+
+@pytest.fixture(scope="module")
+def ktuning(paper_setup):
+    return run_extension_ktuning(paper_setup)
+
+
+def test_ktuning_report(ktuning, capsys):
+    with capsys.disabled():
+        print("\n" + ktuning.format() + "\n")
+
+
+def test_cost_curve_monotone(ktuning):
+    costs = ktuning.sweep.costs
+    assert all(b <= a + 1e-9 for a, b in zip(costs, costs[1:]))
+
+
+def test_knee_recovers_the_major_shift_count(ktuning):
+    assert ktuning.knee == 2
+
+
+def test_validation_rejects_the_overfit_budget(ktuning):
+    validated = ktuning.validated
+    by_k = dict(zip(validated.ks, validated.validation_costs))
+    l_budget = max(validated.ks)
+    assert validated.best_k < l_budget
+    assert by_k[validated.best_k] < by_k[l_budget]
+
+
+def test_validated_k_beats_static_design(ktuning):
+    validated = ktuning.validated
+    by_k = dict(zip(validated.ks, validated.validation_costs))
+    assert by_k[validated.best_k] < by_k[0]
+
+
+def test_bench_ktuning(benchmark, paper_setup):
+    result = benchmark.pedantic(
+        lambda: run_extension_ktuning(paper_setup, n_variants=2),
+        rounds=1, iterations=1)
+    assert result.knee >= 1

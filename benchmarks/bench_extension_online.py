@@ -1,0 +1,55 @@
+"""Extension 3 — offline constrained design vs reactive online tuning.
+
+The paper's Section 1 argues for the offline formulation: an online
+mechanism "can only consider that portion of the workload that it has
+already observed" and must react, paying lag and repeated builds on
+recurring phases. This bench quantifies that: on W1 the online tuner
+lands between the offline optimum and doing nothing, pays more design
+changes than the constrained offline design, and cannot beat the
+unconstrained offline optimum (which is optimal by construction).
+"""
+
+import pytest
+
+from repro.bench import run_extension_online
+from repro.core import build_cost_matrices, solve_unconstrained
+
+
+@pytest.fixture(scope="module")
+def comparison(paper_setup):
+    return run_extension_online(paper_setup)
+
+
+def test_online_report(comparison, capsys):
+    with capsys.disabled():
+        print("\n" + comparison.format() + "\n")
+
+
+def test_offline_foresight_beats_online(comparison):
+    assert comparison.cost_of("offline unconstrained") < \
+        comparison.cost_of("online tuner")
+
+
+def test_online_beats_no_tuning(paper_setup, comparison):
+    problem = paper_setup.problem_for("W1")
+    matrices = build_cost_matrices(problem, paper_setup.provider)
+    empty_index = matrices.initial_index
+    do_nothing = matrices.sequence_cost(
+        [empty_index] * matrices.n_segments)
+    assert comparison.cost_of("online tuner") < do_nothing
+
+
+def test_online_pays_more_changes_than_constrained(comparison):
+    online_changes = [changes for label, _, changes in comparison.rows
+                      if label == "online tuner"][0]
+    constrained_changes = [changes for label, _, changes
+                           in comparison.rows
+                           if label == "offline constrained k=2"][0]
+    assert online_changes > constrained_changes
+
+
+def test_bench_online_tuner(benchmark, paper_setup):
+    result = benchmark.pedantic(
+        lambda: run_extension_online(paper_setup),
+        rounds=1, iterations=1)
+    assert result.online_decisions >= 1

@@ -1,0 +1,57 @@
+"""Extension 2 — characterizing when constrained designs win
+(open question 2).
+
+Evaluates W1's unconstrained and k=2 designs across two variation
+families. The characterization that emerges: when variations preserve
+the trace's exact block structure (fresh constants only), the overfit
+design keeps its edge; when variations move the minor shifts around
+(jitter), the constrained design's regret is flatter — it is the
+right choice exactly when the trace is representative in trend but
+not in detail, which is the paper's motivating scenario.
+"""
+
+import pytest
+
+from repro.bench import run_extension_robustness
+
+
+@pytest.fixture(scope="module")
+def robustness(paper_setup):
+    return run_extension_robustness(paper_setup)
+
+
+def test_robustness_report(robustness, capsys):
+    with capsys.disabled():
+        print("\n" + robustness.format() + "\n")
+
+
+def test_fresh_constants_keep_both_designs_near_optimal(robustness):
+    reports = robustness.by_family["fresh constants"]
+    # Same block structure, new values: the unconstrained design stays
+    # excellent; regret small for both.
+    assert reports["unconstrained"].mean_regret < 0.10
+    assert reports["constrained k=2"].mean_regret < 0.35
+
+
+def test_jitter_hurts_the_overfit_design_more(robustness):
+    reports = robustness.by_family["jittered minors"]
+    overfit = reports["unconstrained"]
+    constrained = reports["constrained k=2"]
+    assert constrained.worst_regret <= overfit.worst_regret + 0.02
+    assert constrained.mean_regret <= overfit.mean_regret + 0.02
+
+
+def test_overfit_design_degrades_across_families(robustness):
+    overfit_fresh = robustness.by_family["fresh constants"][
+        "unconstrained"].mean_regret
+    overfit_jitter = robustness.by_family["jittered minors"][
+        "unconstrained"].mean_regret
+    assert overfit_jitter > overfit_fresh
+
+
+def test_bench_robustness(benchmark, paper_setup):
+    result = benchmark.pedantic(
+        lambda: run_extension_robustness(paper_setup, n_variants=2),
+        rounds=1, iterations=1)
+    assert set(result.by_family) == {"fresh constants",
+                                     "jittered minors"}

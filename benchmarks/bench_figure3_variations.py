@@ -1,0 +1,60 @@
+"""Figure 3 — workload variations under W1's designs.
+
+Replays W1, W2 and W3 against the live engine under both W1-derived
+designs and asserts the paper's qualitative findings:
+
+* W1 runs *slower* under the constrained design (paper: ~14%; we
+  assert a positive, moderate slowdown),
+* W2 and W3 both run *faster* under the constrained design than under
+  the unconstrained one (the generalization benefit),
+* W3 (out-of-phase minors) suffers more under the overfit design than
+  W2 does.
+"""
+
+import pytest
+
+from repro.bench import run_figure3, run_table2
+
+
+@pytest.fixture(scope="module")
+def figure3(paper_setup):
+    table2 = run_table2(paper_setup)
+    return run_figure3(paper_setup, table2, metered=True)
+
+
+def test_figure3_report(figure3, capsys):
+    with capsys.disabled():
+        print("\n" + figure3.format() + "\n")
+
+
+def test_w1_is_slower_under_constrained_design(figure3):
+    slowdown = figure3.slowdown_constrained_w1()
+    assert 0.0 < slowdown < 0.6, (
+        f"expected a moderate W1 slowdown (paper ~14%), got "
+        f"{slowdown:.1%}")
+
+
+def test_variations_prefer_the_constrained_design(figure3):
+    for workload in ("W2", "W3"):
+        constrained = figure3.relative[(workload, "constrained")]
+        unconstrained = figure3.relative[(workload, "unconstrained")]
+        assert constrained < unconstrained, (
+            f"{workload}: constrained {constrained:.3f} should beat "
+            f"unconstrained {unconstrained:.3f}")
+
+
+def test_out_of_phase_workload_hurts_most(figure3):
+    # W3's minors are exactly opposite to W1's, so the overfit design
+    # mispredicts every minor shift; W2 only mismatches half the time.
+    assert figure3.relative[("W3", "unconstrained")] > \
+        figure3.relative[("W2", "unconstrained")]
+
+
+def test_bench_figure3_replay(benchmark, paper_setup):
+    table2 = run_table2(paper_setup)
+
+    def replay():
+        return run_figure3(paper_setup, table2, metered=True)
+
+    result = benchmark.pedantic(replay, rounds=1, iterations=1)
+    assert result.relative[("W1", "unconstrained")] == pytest.approx(1.0)

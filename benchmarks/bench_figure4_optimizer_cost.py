@@ -1,0 +1,71 @@
+"""Figure 4 — optimizer runtime vs the change budget k.
+
+Times the optimal k-aware graph solver and the sequential merging
+heuristic across k, relative to the unconstrained sequence-graph
+solver, and asserts the paper's two trends: the k-aware runtime grows
+with k (the graph gains a layer per unit of budget) while merging's
+runtime *shrinks* with k (fewer merge steps) — the opposite slopes
+that motivate the hybrid.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import COUNT_INITIAL_CHANGE, run_figure4
+from repro.core import build_cost_matrices, solve_constrained
+from repro.core.problem import ProblemInstance
+from repro.core.structures import EMPTY_CONFIGURATION
+from repro.workload import segment_by_count
+
+
+@pytest.fixture(scope="module")
+def figure4(paper_setup):
+    return run_figure4(paper_setup, repeats=5)
+
+
+def test_figure4_report(figure4, capsys):
+    with capsys.disabled():
+        print("\n" + figure4.format() + "\n")
+
+
+def test_kaware_runtime_grows_with_k(figure4):
+    first, last = figure4.graph_relative[0], figure4.graph_relative[-1]
+    assert last > first, (
+        f"k-aware runtime should grow with k: {first:.2f} -> "
+        f"{last:.2f}")
+    # And it is costlier than the unconstrained solve at every k.
+    assert min(figure4.graph_relative) > 1.0
+
+
+def test_kaware_growth_is_roughly_linear(figure4):
+    # Fit runtime vs k; the correlation should be strongly positive
+    # (the paper's line is straight).
+    ks = np.array(figure4.ks, dtype=float)
+    ts = np.array(figure4.graph_relative)
+    correlation = np.corrcoef(ks, ts)[0, 1]
+    assert correlation > 0.9
+
+
+def test_merging_runtime_shrinks_with_k(figure4):
+    first, last = figure4.merging_relative[0], \
+        figure4.merging_relative[-1]
+    assert last <= first, (
+        f"merging runtime should not grow with k: {first:.2f} -> "
+        f"{last:.2f}")
+
+
+def test_merging_beats_graph_at_large_k(figure4):
+    assert figure4.merging_relative[-1] < figure4.graph_relative[-1]
+
+
+def test_bench_kaware_k18(benchmark, paper_setup):
+    segments = segment_by_count(paper_setup.workloads["W1"],
+                                max(1, paper_setup.block_size // 10))
+    problem = ProblemInstance(segments=tuple(segments),
+                              configurations=paper_setup.configurations,
+                              initial=EMPTY_CONFIGURATION,
+                              final=EMPTY_CONFIGURATION)
+    matrices = build_cost_matrices(problem, paper_setup.provider)
+    result = benchmark(lambda: solve_constrained(
+        matrices, 18, COUNT_INITIAL_CHANGE))
+    assert result.change_count <= 18

@@ -1,0 +1,34 @@
+"""Table 1 — workload query mixes.
+
+Regenerates the paper's Table 1 (the four mixes over columns a-d) and
+verifies that sampled workloads match the declared frequencies, then
+benchmarks workload generation throughput.
+"""
+
+from repro.bench import run_table1
+from repro.workload import PAPER_MIXES, make_paper_workload, \
+    paper_generator
+
+
+def test_table1_report(capsys):
+    result = run_table1()
+    with capsys.disabled():
+        print("\n" + result.format() + "\n")
+    for mix_name, weights in result.declared.items():
+        for column, declared in weights.items():
+            sampled = result.sampled[mix_name][column]
+            assert abs(sampled - declared) < 0.03, (
+                f"mix {mix_name} column {column}: sampled {sampled:.3f}"
+                f" vs declared {declared:.3f}")
+
+
+def test_bench_workload_generation(benchmark):
+    generator = paper_generator(seed=123)
+
+    def generate():
+        return make_paper_workload("W1", generator, block_size=100)
+
+    workload = benchmark(generate)
+    assert len(workload) == 3000
+    counts = workload.tag_counts()
+    assert set(counts) == set(PAPER_MIXES)

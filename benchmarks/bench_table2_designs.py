@@ -1,0 +1,67 @@
+"""Table 2 — unconstrained vs k=2 constrained designs for W1.
+
+Regenerates the paper's Table 2 and asserts its qualitative content:
+the unconstrained design tracks every minor shift (I(a,b)/I(b) in the
+A/B phases, I(c,d)/I(d) in the C/D phase) while the k=2 design holds
+one index per phase (I(a,b), then I(c,d), then I(a,b)). Benchmarks the
+two advisors.
+"""
+
+import pytest
+
+from repro.bench import COUNT_INITIAL_CHANGE, run_table2
+from repro.core import (ConstrainedGraphAdvisor, UnconstrainedAdvisor,
+                        build_cost_matrices, solve_constrained,
+                        solve_unconstrained)
+from repro.workload import block_labels
+
+
+@pytest.fixture(scope="module")
+def table2(paper_setup):
+    return run_table2(paper_setup)
+
+
+def test_table2_report(table2, capsys):
+    with capsys.disabled():
+        print("\n" + table2.format() + "\n")
+        print(f"unconstrained: {table2.unconstrained.summary()}")
+        print(f"constrained:   {table2.constrained.summary()}")
+
+
+def test_constrained_design_tracks_only_major_shifts(table2):
+    design = table2.constrained.design
+    assert table2.constrained.change_count == 2
+    runs = design.runs()
+    assert len(runs) == 3
+    labels = [run.config.label for run in runs]
+    assert labels == ["{I(a,b)}", "{I(c,d)}", "{I(a,b)}"]
+    # Changes exactly at the major shifts (blocks 10 and 20).
+    assert [run.start for run in runs] == [0, 10, 20]
+
+
+def test_unconstrained_design_tracks_minor_shifts(table2):
+    design = table2.unconstrained.design
+    labels = block_labels("W1")
+    per_phase_expect = {"A": "{I(a,b)}", "B": "{I(b)}",
+                        "C": "{I(c,d)}", "D": "{I(d)}"}
+    for block, mix in enumerate(labels):
+        assert design[block].label == per_phase_expect[mix], (
+            f"block {block} (mix {mix}): got {design[block].label}")
+
+
+def test_constrained_cost_is_above_unconstrained(table2):
+    # The unconstrained design is optimal for W1 by definition.
+    assert table2.constrained.cost >= table2.unconstrained.cost
+
+
+def test_bench_unconstrained_advisor(benchmark, table2):
+    matrices = table2.matrices
+    result = benchmark(lambda: solve_unconstrained(matrices))
+    assert result.cost == pytest.approx(table2.unconstrained.cost)
+
+
+def test_bench_constrained_advisor_k2(benchmark, table2):
+    matrices = table2.matrices
+    result = benchmark(lambda: solve_constrained(
+        matrices, 2, COUNT_INITIAL_CHANGE))
+    assert result.cost == pytest.approx(table2.constrained.cost)

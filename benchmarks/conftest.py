@@ -1,0 +1,29 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+One :class:`PaperSetup` (database + W1/W2/W3 + cost provider) is built
+per session and shared by every bench; scale is controlled by the
+``REPRO_BENCH_NROWS`` / ``REPRO_BENCH_BLOCK`` environment variables
+(defaults keep the whole suite in tens of seconds while preserving all
+relative comparisons — see DESIGN.md's substitution notes).
+"""
+
+import os
+
+import pytest
+
+from repro.bench import build_paper_setup
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+@pytest.fixture(scope="session")
+def paper_setup():
+    return build_paper_setup(
+        nrows=_env_int("REPRO_BENCH_NROWS", 100_000),
+        block_size=_env_int("REPRO_BENCH_BLOCK", 100),
+        seed=0)

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""The paper's motivating scenario: design from a representative trace.
+
+Monday's workload trace is captured and saved; a constrained dynamic
+design is recommended from it; then Tuesday arrives — similar trends,
+different details — and we measure how Monday's *unconstrained* design
+(overfit to Monday) compares with Monday's *constrained* design on
+Tuesday's actual queries, by replaying both against the live engine.
+
+Run:  python examples/daily_trace_advisor.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import (ConstrainedGraphAdvisor, Database, EMPTY_CONFIGURATION,
+                   IndexDef, ProblemInstance, UnconstrainedAdvisor,
+                   WhatIfCostProvider, single_index_configurations)
+from repro.bench import replay_design
+from repro.core import build_cost_matrices
+from repro.workload import (load_trace, make_paper_workload,
+                            paper_generator, save_trace,
+                            segment_by_count)
+
+BLOCK = 100  # queries per design block (the paper uses 500)
+
+
+def build_database(seed: int = 3) -> Database:
+    db = Database()
+    db.create_table("t", [("a", "INTEGER"), ("b", "INTEGER"),
+                          ("c", "INTEGER"), ("d", "INTEGER")])
+    rng = np.random.default_rng(seed)
+    db.bulk_load("t", {c: rng.integers(0, 500_000, 80_000)
+                       for c in "abcd"})
+    return db
+
+
+def main() -> None:
+    db = build_database()
+
+    # -- Monday: capture and persist a trace ---------------------------
+    monday = make_paper_workload("W1", paper_generator(seed=1),
+                                 block_size=BLOCK)
+    trace_path = Path(tempfile.gettempdir()) / "monday_trace.jsonl"
+    save_trace(monday, trace_path)
+    print(f"captured Monday's trace: {len(monday)} queries "
+          f"-> {trace_path}")
+
+    # -- design from the trace -----------------------------------------
+    trace = load_trace(trace_path)
+    candidates = [IndexDef("t", (x,)) for x in "abcd"] + \
+        [IndexDef("t", ("a", "b")), IndexDef("t", ("c", "d"))]
+    problem = ProblemInstance(
+        segments=tuple(segment_by_count(trace, BLOCK)),
+        configurations=single_index_configurations(candidates),
+        initial=EMPTY_CONFIGURATION, final=EMPTY_CONFIGURATION)
+    provider = WhatIfCostProvider(db.what_if())
+    matrices = build_cost_matrices(problem, provider)
+
+    unconstrained = UnconstrainedAdvisor().recommend(
+        problem, provider, matrices)
+    constrained = ConstrainedGraphAdvisor(
+        k=2, count_initial_change=False).recommend(
+        problem, provider, matrices)
+    print(f"\nMonday-optimal (unconstrained): "
+          f"{unconstrained.change_count} design changes")
+    print(f"Monday k=2 (constrained):        "
+          f"{constrained.change_count} design changes")
+
+    # -- Tuesday: same trends, different minor fluctuations -------------
+    tuesday = make_paper_workload("W3", paper_generator(seed=99),
+                                  block_size=BLOCK)
+    tuesday_segments = segment_by_count(tuesday, BLOCK)
+    print(f"\nTuesday arrives: {len(tuesday)} queries, same major "
+          f"phases, out-of-phase minors")
+
+    results = {}
+    for label, recommendation in (("unconstrained", unconstrained),
+                                  ("constrained", constrained)):
+        report = replay_design(db, tuesday_segments,
+                               recommendation.design,
+                               final_config=EMPTY_CONFIGURATION)
+        results[label] = report
+        print(f"  Tuesday under Monday's {label:>13} design: "
+              f"{report.total_units:12.0f} cost units "
+              f"({report.design_changes} index changes applied)")
+
+    ratio = (results["unconstrained"].total_units /
+             results["constrained"].total_units)
+    print(f"\nThe constrained design runs Tuesday "
+          f"{(ratio - 1):.1%} faster than the overfit one — "
+          f"the paper's core claim.")
+    db.apply_configuration(set())
+
+
+if __name__ == "__main__":
+    main()

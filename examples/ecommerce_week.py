@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""A realistic scenario: one week of e-commerce traffic, end to end.
+
+Weekdays are dominated by order-status lookups (customer-keyed point
+queries); weekend traffic shifts to product browsing (product-keyed
+lookups and price-range scans). Nothing here is a paper workload — it
+shows the full adoption path on your own trace:
+
+1. capture a week-long trace,
+2. *detect* the number of sustained shifts (no domain knowledge),
+3. recommend a k-constrained dynamic design over indexes *and*
+   materialized views,
+4. deploy it against the live engine and measure, vs. a static design.
+
+Run:  python examples/ecommerce_week.py
+"""
+
+import numpy as np
+
+from repro import (ConstrainedGraphAdvisor, Database,
+                   EMPTY_CONFIGURATION, IndexDef, ProblemInstance,
+                   StaticAdvisor, ViewDef, WhatIfCostProvider,
+                   single_index_configurations)
+from repro.bench import replay_design
+from repro.core import build_cost_matrices
+from repro.workload import (PointQueryGenerator, QueryMix, Statement,
+                            detect_shifts, segment_by_count,
+                            workload_from_block_mixes)
+
+QUERIES_PER_HOUR = 50   # one block = one "hour" of traffic
+HOURS = 7 * 24
+
+
+def build_shop() -> Database:
+    db = Database()
+    db.create_table("orders", [("customer", "INTEGER"),
+                               ("product", "INTEGER"),
+                               ("price", "INTEGER"),
+                               ("status", "INTEGER")])
+    rng = np.random.default_rng(2026)
+    n = 120_000
+    db.bulk_load("orders", {
+        "customer": rng.integers(0, 40_000, n),
+        "product": rng.integers(0, 3_000, n),
+        "price": rng.integers(100, 50_000, n),
+        "status": rng.integers(0, 6, n),
+    })
+    return db
+
+
+def capture_week() -> "Workload":
+    generator = PointQueryGenerator(
+        "orders",
+        {"customer": (0, 40_000), "product": (0, 3_000),
+         "price": (100, 50_000)},
+        seed=7)
+    weekday = QueryMix("weekday", {"customer": 0.75, "product": 0.15,
+                                   "price": 0.10})
+    weekend = QueryMix("weekend", {"customer": 0.15, "product": 0.55,
+                                   "price": 0.30})
+    # Mon 00:00 .. Fri 24:00 weekday traffic, Sat+Sun weekend traffic.
+    block_mixes = [weekday] * (5 * 24) + [weekend] * (2 * 24)
+    return workload_from_block_mixes(generator, block_mixes,
+                                     block_size=QUERIES_PER_HOUR,
+                                     name="shop-week")
+
+
+def main() -> None:
+    db = build_shop()
+    week = capture_week()
+    print(f"captured {len(week)} queries over {HOURS} hours")
+
+    # -- detect the trend structure, choose k ---------------------------
+    report = detect_shifts(week, QUERIES_PER_HOUR, window=12,
+                           threshold=0.3)
+    print(f"detected {len(report.major_shifts)} sustained shift(s) at "
+          f"hours {list(report.major_shifts)} -> k = "
+          f"{report.suggested_k}")
+
+    # -- design space: indexes and a browsing view ----------------------
+    candidates = [
+        IndexDef("orders", ("customer",)),
+        IndexDef("orders", ("product",)),
+        IndexDef("orders", ("customer", "status")),
+        ViewDef("orders", ("product", "price")),
+    ]
+    problem = ProblemInstance(
+        segments=tuple(segment_by_count(week, QUERIES_PER_HOUR)),
+        configurations=single_index_configurations(candidates),
+        initial=EMPTY_CONFIGURATION)
+    provider = WhatIfCostProvider(db.what_if())
+    matrices = build_cost_matrices(problem, provider)
+
+    dynamic = ConstrainedGraphAdvisor(
+        report.suggested_k, count_initial_change=False).recommend(
+        problem, provider, matrices)
+    static = StaticAdvisor().recommend(problem, provider, matrices)
+    print(f"\nrecommended dynamic design "
+          f"({dynamic.change_count} change(s)):")
+    print(dynamic.design.format_table())
+    print(f"\nbest static design: {static.stats['chosen']}")
+
+    # -- deploy both against the live engine ----------------------------
+    segments = segment_by_count(week, QUERIES_PER_HOUR)
+    measured = {}
+    for label, recommendation in (("dynamic", dynamic),
+                                  ("static", static)):
+        outcome = replay_design(db, segments, recommendation.design)
+        measured[label] = outcome.total_units
+        print(f"replayed week under the {label:>7} design: "
+              f"{outcome.total_units:12.0f} cost units")
+    db.apply_configuration(set())
+    saving = 1.0 - measured["dynamic"] / measured["static"]
+    print(f"\nthe weekend-aware dynamic design serves the week "
+          f"{saving:.1%} cheaper than the best static design — with "
+          f"only {dynamic.change_count} reconfiguration(s), found "
+          f"without any domain knowledge.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Quickstart: recommend a change-constrained dynamic physical design.
+
+Builds a small database, generates a shifting workload, and compares
+the unconstrained dynamic design (fits every fluctuation) with a
+k-constrained one (tracks only the major trend).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (ConstrainedGraphAdvisor, Database, EMPTY_CONFIGURATION,
+                   IndexDef, ProblemInstance, UnconstrainedAdvisor,
+                   WhatIfCostProvider, single_index_configurations)
+from repro.core import build_cost_matrices
+from repro.workload import (PointQueryGenerator, QueryMix,
+                            segment_by_count, workload_from_block_mixes)
+
+
+def main() -> None:
+    # -- 1. a database with one table and some data --------------------
+    db = Database()
+    db.create_table("orders", [("customer", "INTEGER"),
+                               ("product", "INTEGER"),
+                               ("region", "INTEGER"),
+                               ("amount", "INTEGER")])
+    rng = np.random.default_rng(42)
+    n_rows = 50_000
+    db.bulk_load("orders", {
+        "customer": rng.integers(0, 100_000, n_rows),
+        "product": rng.integers(0, 5_000, n_rows),
+        "region": rng.integers(0, 50, n_rows),
+        "amount": rng.integers(0, 10_000, n_rows),
+    })
+    print(f"loaded {db.table('orders').nrows} rows "
+          f"({db.table('orders').n_pages} pages)")
+
+    # -- 2. a workload whose hot columns shift over the day ------------
+    generator = PointQueryGenerator(
+        "orders",
+        {"customer": (0, 100_000), "product": (0, 5_000),
+         "amount": (0, 10_000)},
+        seed=7)
+    morning = QueryMix("morning", {"customer": 0.7, "product": 0.2,
+                                   "amount": 0.1})
+    evening = QueryMix("evening", {"customer": 0.2, "product": 0.7,
+                                   "amount": 0.1})
+    # Morning traffic, a noisy lunch dip, then evening traffic.
+    block_mixes = [morning] * 4 + [evening] + [morning] + [evening] * 6
+    workload = workload_from_block_mixes(generator, block_mixes,
+                                         block_size=200, name="day")
+    print(f"workload: {len(workload)} queries, "
+          f"mix per 200-query block: "
+          f"{[m.name[0].upper() for m in block_mixes]}")
+
+    # -- 3. the design problem -----------------------------------------
+    candidates = [IndexDef("orders", ("customer",)),
+                  IndexDef("orders", ("product",)),
+                  IndexDef("orders", ("customer", "product"))]
+    problem = ProblemInstance(
+        segments=tuple(segment_by_count(workload, 200)),
+        configurations=single_index_configurations(candidates),
+        initial=EMPTY_CONFIGURATION)
+    provider = WhatIfCostProvider(db.what_if())
+    matrices = build_cost_matrices(problem, provider)
+
+    # -- 4. unconstrained vs constrained recommendations ---------------
+    unconstrained = UnconstrainedAdvisor().recommend(
+        problem, provider, matrices)
+    print(f"\n== {unconstrained.summary()}")
+    print(unconstrained.design.format_table())
+
+    constrained = ConstrainedGraphAdvisor(
+        k=1, count_initial_change=False).recommend(
+        problem, provider, matrices)
+    print(f"\n== {constrained.summary()}")
+    print(constrained.design.format_table())
+
+    overhead = constrained.cost / unconstrained.cost - 1.0
+    print(f"\nThe k=1 design ignores the lunch-hour blip and costs "
+          f"only {overhead:.1%} more on this exact trace — while being "
+          f"far less overfit to it.")
+
+
+if __name__ == "__main__":
+    main()

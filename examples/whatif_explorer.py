@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Explore the what-if optimizer: EXEC, TRANS and SIZE by hand.
+
+Shows exactly the three quantities the paper's problem definition is
+built from, for a handful of queries across every candidate
+configuration — including why a *covering* composite index beats a
+single-column one for some mixes (the effect behind Table 2), and then
+validates one estimate against a real metered execution.
+
+Run:  python examples/whatif_explorer.py
+"""
+
+import numpy as np
+
+from repro import Database, IndexDef
+from repro.bench import format_table
+from repro.sqlengine.sql import parse
+
+
+def main() -> None:
+    db = Database()
+    db.create_table("t", [("a", "INTEGER"), ("b", "INTEGER"),
+                          ("c", "INTEGER"), ("d", "INTEGER")])
+    rng = np.random.default_rng(0)
+    db.bulk_load("t", {c: rng.integers(0, 500_000, 100_000)
+                       for c in "abcd"})
+    what_if = db.what_if()
+
+    configs = {
+        "{}": frozenset(),
+        "{I(a)}": frozenset({IndexDef("t", ("a",))}),
+        "{I(b)}": frozenset({IndexDef("t", ("b",))}),
+        "{I(a,b)}": frozenset({IndexDef("t", ("a", "b"))}),
+    }
+    queries = {
+        "a = 42": "SELECT a FROM t WHERE a = 42",
+        "b = 42": "SELECT b FROM t WHERE b = 42",
+        "a rng": "SELECT a FROM t WHERE a BETWEEN 100 AND 5000",
+        "a&b": "SELECT a, b FROM t WHERE a = 42 AND b = 7",
+    }
+
+    # -- EXEC(S, C) across the grid --------------------------------------
+    rows = []
+    for qlabel, sql in queries.items():
+        stmt = parse(sql)
+        row = [qlabel]
+        for config in configs.values():
+            estimate = what_if.estimate_statement(stmt, config)
+            path = estimate.access_path.kind if estimate.access_path \
+                else "-"
+            row.append(f"{estimate.units:8.2f} ({path[:9]})")
+        rows.append(row)
+    print(format_table(["query"] + list(configs), rows,
+                       title="EXEC(S, C) in cost units (access path)"))
+    print("\nNote 'b = 42': I(a,b) can't seek on b, but its narrow "
+          "leaf level still beats the heap scan — the covering-scan "
+          "effect that makes I(a,b) the right phase-level design.")
+
+    # -- SIZE(C) and TRANS(C1, C2) ---------------------------------------
+    rows = [[label,
+             f"{what_if.configuration_size_bytes(c) / 1e6:.2f} MB"]
+            for label, c in configs.items()]
+    print("\n" + format_table(["config", "SIZE"], rows,
+                              title="SIZE(C)"))
+
+    rows = []
+    labels = list(configs)
+    for src in labels:
+        row = [src]
+        for dst in labels:
+            units = what_if.transition_units(configs[src], configs[dst])
+            row.append(f"{units:.1f}")
+        rows.append(row)
+    print("\n" + format_table(["from \\ to"] + labels, rows,
+                              title="TRANS(C1, C2) in cost units"))
+
+    # -- estimate vs metered execution -----------------------------------
+    db.execute("CREATE INDEX ix_ab ON t (a, b)")
+    result = db.execute("SELECT a FROM t WHERE a = 42")
+    estimate = what_if.estimate_statement(
+        parse("SELECT a FROM t WHERE a = 42"), configs["{I(a,b)}"])
+    print(f"\nmetered execution under I(a,b): "
+          f"{result.units(db.params):.2f} units via "
+          f"{result.access_path.kind}; what-if estimated "
+          f"{estimate.units:.2f} units — same path, same scale.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Plain-text reporting helpers for the experiment harness.
+
+The paper reports tables (Tables 1-2) and relative-value charts
+(Figures 3-4); these helpers render both as ASCII so the benchmark
+output can be compared against the paper side by side.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render a simple aligned table."""
+    columns = [list(map(_cell, column))
+               for column in zip(headers, *rows)] if rows else \
+        [[_cell(h)] for h in headers]
+    widths = [max(len(value) for value in column) for column in columns]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w)
+                            for h, w in zip(map(_cell, headers), widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(_cell(v).ljust(w)
+                               for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_bars(labels: Sequence[str], values: Sequence[float],
+                title: Optional[str] = None, width: int = 50,
+                unit: str = "%") -> str:
+    """Render horizontal bars of relative values (Figure 3/4 style)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values differ in length")
+    peak = max(values) if values else 1.0
+    peak = peak if peak > 0 else 1.0
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = max((len(label) for label in labels), default=0)
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, int(round(width * value / peak)))
+        lines.append(f"{label.ljust(label_width)}  "
+                     f"{value * 100 if unit == '%' else value:8.1f}{unit}"
+                     f"  {bar}")
+    return "\n".join(lines)
+
+
+def format_series(x_label: str, xs: Sequence[object], series: dict,
+                  title: Optional[str] = None) -> str:
+    """Render one row per x with one column per named series."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i] for name in series])
+    return format_table(headers, rows, title=title)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

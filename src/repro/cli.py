@@ -1,0 +1,258 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``workload`` — generate one of the paper's workloads (or a custom
+  mix schedule) into a JSONL trace file.
+* ``analyze`` — profile a trace: per-block mixes, detected major/minor
+  shifts, and the suggested change budget k.
+* ``recommend`` — the advisor: load a trace, synthesize a database
+  matching it, and print the recommended constrained dynamic design.
+* ``experiment`` — regenerate a table/figure of the paper.
+
+The CLI is self-contained: ``recommend`` infers the schema from the
+trace's queries and populates a synthetic table, so no database setup
+is needed to try the advisor on any point-query trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import __version__
+from .core.advisor import (ConstrainedGraphAdvisor, GreedySeqAdvisor,
+                           HybridAdvisor, MergingAdvisor,
+                           UnconstrainedAdvisor)
+from .core.costmatrix import WhatIfCostProvider, build_cost_matrices
+from .core.problem import ProblemInstance
+from .core.structures import (EMPTY_CONFIGURATION,
+                              single_index_configurations)
+from .errors import ReproError
+from .sqlengine.database import Database
+from .sqlengine.index import IndexDef
+from .sqlengine.sql.ast import SelectStmt
+from .workload.analysis import detect_shifts
+from .workload.mixes import make_paper_workload, paper_generator
+from .workload.model import Workload
+from .workload.segmentation import segment_by_count
+from .workload.trace import load_trace, save_trace
+
+_ADVISORS = {
+    "kaware": lambda k: ConstrainedGraphAdvisor(
+        k, count_initial_change=False),
+    "merging": lambda k: MergingAdvisor(k, count_initial_change=False),
+    "hybrid": lambda k: HybridAdvisor(k, count_initial_change=False),
+    "greedy-seq": lambda k: GreedySeqAdvisor(
+        k, count_initial_change=False),
+    "unconstrained": lambda k: UnconstrainedAdvisor(),
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    try:
+        return args.handler(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Constrained dynamic physical database design "
+                    "(Voigt/Salem/Lehner, ICDE 2008)")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command")
+
+    workload = sub.add_parser(
+        "workload", help="generate a paper workload into a trace file")
+    workload.add_argument("--name", choices=("W1", "W2", "W3"),
+                          default="W1")
+    workload.add_argument("--block-size", type=int, default=100)
+    workload.add_argument("--seed", type=int, default=0)
+    workload.add_argument("--out", required=True)
+    workload.set_defaults(handler=_cmd_workload)
+
+    analyze = sub.add_parser(
+        "analyze", help="profile a trace and suggest k")
+    analyze.add_argument("--trace", required=True)
+    analyze.add_argument("--block-size", type=int, default=100)
+    analyze.set_defaults(handler=_cmd_analyze)
+
+    recommend = sub.add_parser(
+        "recommend", help="recommend a constrained dynamic design "
+                          "for a trace")
+    recommend.add_argument("--trace", required=True)
+    recommend.add_argument("--block-size", type=int, default=100)
+    recommend.add_argument("--k", type=int, default=None,
+                           help="change budget (default: detected "
+                                "from the trace's major shifts)")
+    recommend.add_argument("--advisor", choices=sorted(_ADVISORS),
+                           default="kaware")
+    recommend.add_argument("--rows", type=int, default=100_000,
+                           help="rows in the synthesized table")
+    recommend.add_argument("--seed", type=int, default=0)
+    recommend.set_defaults(handler=_cmd_recommend)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a table/figure of the paper")
+    experiment.add_argument("name", choices=(
+        "table1", "table2", "figure3", "figure4"))
+    experiment.add_argument("--rows", type=int, default=100_000)
+    experiment.add_argument("--block-size", type=int, default=100)
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.set_defaults(handler=_cmd_experiment)
+    return parser
+
+
+# ----------------------------------------------------------------------
+# command handlers
+# ----------------------------------------------------------------------
+
+def _cmd_workload(args) -> int:
+    workload = make_paper_workload(
+        args.name, paper_generator(seed=args.seed),
+        block_size=args.block_size)
+    count = save_trace(workload, args.out)
+    print(f"wrote {count} statements of {args.name} "
+          f"(block size {args.block_size}) to {args.out}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    workload = load_trace(args.trace)
+    report = detect_shifts(workload, args.block_size)
+    print(f"trace: {len(workload)} statements, "
+          f"{len(report.profiles)} blocks of {args.block_size}")
+    for profile in report.profiles:
+        top = sorted(profile.frequencies.items(),
+                     key=lambda kv: -kv[1])[:2]
+        rendered = ", ".join(f"{c}:{f:.0%}" for c, f in top)
+        marker = ""
+        if profile.block_index in report.major_shifts:
+            marker = "  <- major shift"
+        elif profile.block_index in report.minor_shifts:
+            marker = "  <- minor shift"
+        print(f"  block {profile.block_index:3d}: {rendered}{marker}")
+    print(f"major shifts at blocks: {list(report.major_shifts)}")
+    print(f"minor shifts: {len(report.minor_shifts)}")
+    print(f"suggested change budget: k = {report.suggested_k}")
+    return 0
+
+
+def _cmd_recommend(args) -> int:
+    workload = load_trace(args.trace)
+    db, table = _synthesize_database(workload, args.rows, args.seed)
+    k = args.k
+    if k is None and args.advisor != "unconstrained":
+        k = detect_shifts(workload, args.block_size).suggested_k
+        print(f"no --k given; detected k = {k} from the trace's "
+              f"major shifts")
+    candidates = _candidate_indexes(workload, table)
+    print(f"candidate indexes: "
+          f"{', '.join(d.label for d in candidates)}")
+    problem = ProblemInstance(
+        segments=tuple(segment_by_count(workload, args.block_size)),
+        configurations=single_index_configurations(candidates),
+        initial=EMPTY_CONFIGURATION, k=k,
+        final=EMPTY_CONFIGURATION)
+    provider = WhatIfCostProvider(db.what_if())
+    matrices = build_cost_matrices(problem, provider)
+    advisor = _ADVISORS[args.advisor](k)
+    recommendation = advisor.recommend(problem, provider, matrices)
+    print(f"\n{recommendation.summary()}")
+    print(recommendation.design.format_table())
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from .bench.experiments import (build_paper_setup, run_figure3,
+                                    run_figure4, run_table1,
+                                    run_table2)
+    if args.name == "table1":
+        print(run_table1().format())
+        return 0
+    setup = build_paper_setup(nrows=args.rows,
+                              block_size=args.block_size,
+                              seed=args.seed)
+    if args.name == "table2":
+        print(run_table2(setup).format())
+    elif args.name == "figure3":
+        table2 = run_table2(setup)
+        print(run_figure3(setup, table2, metered=True).format())
+    else:
+        print(run_figure4(setup).format())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# trace -> synthetic database
+# ----------------------------------------------------------------------
+
+def _synthesize_database(workload: Workload, nrows: int,
+                         seed: int) -> Tuple[Database, str]:
+    """Build a table matching the trace: its name, its integer
+    columns, and uniform data spanning each column's observed
+    constants."""
+    table: Optional[str] = None
+    spans: Dict[str, Tuple[int, int]] = {}
+    for statement in workload:
+        ast = statement.ast
+        if not isinstance(ast, SelectStmt):
+            continue
+        table = table or ast.table
+        if ast.where is None:
+            continue
+        for predicate in ast.where.predicates:
+            value = getattr(predicate, "value", None)
+            if not isinstance(value, int):
+                continue
+            lo, hi = spans.get(predicate.column, (value, value))
+            spans[predicate.column] = (min(lo, value),
+                                       max(hi, value))
+    if table is None or not spans:
+        raise ReproError(
+            "the trace contains no analyzable point queries")
+    db = Database()
+    db.create_table(table, [(c, "INTEGER") for c in sorted(spans)])
+    rng = np.random.default_rng(seed)
+    db.bulk_load(table, {
+        column: rng.integers(lo, hi + 1, nrows)
+        for column, (lo, hi) in sorted(spans.items())})
+    print(f"synthesized table {table!r}: {nrows} rows, columns "
+          f"{sorted(spans)}")
+    return db, table
+
+
+def _candidate_indexes(workload: Workload,
+                       table: str) -> List[IndexDef]:
+    """Single-column indexes on every queried column, plus two-column
+    composites over the most-queried columns."""
+    counts: Dict[str, int] = {}
+    for statement in workload:
+        ast = statement.ast
+        if isinstance(ast, SelectStmt) and ast.where is not None:
+            for predicate in ast.where.predicates:
+                counts[predicate.column] = \
+                    counts.get(predicate.column, 0) + 1
+    columns = sorted(counts, key=lambda c: -counts[c])
+    candidates = [IndexDef(table, (c,)) for c in sorted(columns)]
+    top = columns[:4]
+    for i, first in enumerate(top):
+        for second in top[i + 1:]:
+            candidates.append(IndexDef(table, (first, second)))
+    return candidates
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

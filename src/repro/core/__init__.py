@@ -1,0 +1,57 @@
+"""Constrained dynamic physical design — the paper's contribution.
+
+Public surface: configurations and problem instances, cost providers
+and matrices, the solvers (unconstrained sequence graph, optimal
+k-aware graph, GREEDY-SEQ reduction, sequential merging, path ranking,
+hybrid), and the advisor facade that wraps them uniformly.
+"""
+
+from .advisor import (Advisor, ConstrainedGraphAdvisor, GreedySeqAdvisor,
+                      HybridAdvisor, MergingAdvisor, RankingAdvisor,
+                      Recommendation, StaticAdvisor, UnconstrainedAdvisor)
+from .costmatrix import (CostMatrices, CostProvider, MatrixCostProvider,
+                         WhatIfCostProvider, build_cost_matrices)
+from .design import DesignRun, DesignSequence, design_from_indices
+from .greedy_seq import (GreedyCandidates, greedy_seq_candidates,
+                         reduce_problem)
+from .hybrid import HybridResult, solve_hybrid
+from .kaware import (ConstrainedResult, solve_constrained,
+                     solve_constrained_reference)
+from .ktuning import (KSweepResult, ValidatedKResult, knee_k, sweep_k,
+                      validated_k)
+from .merging import MergeStep, MergingResult, merge_to_k
+from .online import OnlineDecision, OnlineResult, OnlineTuner
+from .problem import ProblemInstance, enumerate_configurations
+from .robustness import (RobustnessReport, VariantOutcome,
+                         compare_robustness, evaluate_robustness)
+from .ranking import RankingResult, solve_by_ranking
+from .sequence_graph import (SequenceGraph, ShortestPathResult,
+                             solve_unconstrained,
+                             solve_unconstrained_reference)
+from .structures import (Configuration, EMPTY_CONFIGURATION,
+                         single_index_configurations)
+
+__all__ = [
+    "Advisor", "ConstrainedGraphAdvisor", "GreedySeqAdvisor",
+    "HybridAdvisor", "MergingAdvisor", "RankingAdvisor",
+    "Recommendation", "StaticAdvisor", "UnconstrainedAdvisor",
+    "CostMatrices", "CostProvider", "MatrixCostProvider",
+    "WhatIfCostProvider", "build_cost_matrices",
+    "DesignRun", "DesignSequence", "design_from_indices",
+    "GreedyCandidates", "greedy_seq_candidates", "reduce_problem",
+    "HybridResult", "solve_hybrid",
+    "ConstrainedResult", "solve_constrained",
+    "solve_constrained_reference",
+    "KSweepResult", "ValidatedKResult", "knee_k", "sweep_k",
+    "validated_k",
+    "MergeStep", "MergingResult", "merge_to_k",
+    "OnlineDecision", "OnlineResult", "OnlineTuner",
+    "ProblemInstance", "enumerate_configurations",
+    "RobustnessReport", "VariantOutcome", "compare_robustness",
+    "evaluate_robustness",
+    "RankingResult", "solve_by_ranking",
+    "SequenceGraph", "ShortestPathResult", "solve_unconstrained",
+    "solve_unconstrained_reference",
+    "Configuration", "EMPTY_CONFIGURATION",
+    "single_index_configurations",
+]

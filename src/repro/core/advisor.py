@@ -1,0 +1,242 @@
+"""Advisor facade: one interface over all design techniques.
+
+Every advisor consumes a :class:`ProblemInstance` plus a
+:class:`CostProvider` and returns a :class:`Recommendation` — the
+design sequence, its objective cost, change count, and advisor-specific
+statistics (runtime, paths examined, merge steps, ...). The harness
+reproducing the paper's figures drives everything through this
+interface, so techniques are trivially swappable and comparable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import DesignError
+from .costmatrix import (CostMatrices, CostProvider, build_cost_matrices)
+from .design import DesignSequence, design_from_indices
+from .greedy_seq import reduce_problem
+from .hybrid import solve_hybrid
+from .kaware import solve_constrained
+from .merging import merge_to_k
+from .problem import ProblemInstance
+from .ranking import solve_by_ranking
+from .sequence_graph import solve_unconstrained
+
+
+@dataclass
+class Recommendation:
+    """A recommended dynamic physical design.
+
+    Attributes:
+        advisor: name of the technique that produced it.
+        design: the design sequence (one configuration per segment).
+        cost: objective value (estimated EXEC + TRANS cost units).
+        change_count: design changes under the advisor's counting mode.
+        wall_time_seconds: optimization time (what Figure 4 plots).
+        stats: technique-specific extras (paths examined, merge steps,
+            candidate-set size, chosen hybrid method, ...).
+    """
+
+    advisor: str
+    design: DesignSequence
+    cost: float
+    change_count: int
+    wall_time_seconds: float
+    stats: Dict[str, object] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return (f"{self.advisor}: cost={self.cost:.1f}, "
+                f"changes={self.change_count}, "
+                f"time={self.wall_time_seconds * 1e3:.2f}ms")
+
+
+class Advisor:
+    """Base class: builds matrices, times the solve, packages results.
+
+    Args:
+        count_initial_change: whether the C0 -> C1 step consumes the
+            change budget (strict Definition 1). The paper's
+            experiments use False; the library default is True.
+    """
+
+    name = "advisor"
+
+    def __init__(self, count_initial_change: bool = True):
+        self.count_initial_change = count_initial_change
+
+    def recommend(self, problem: ProblemInstance,
+                  provider: CostProvider,
+                  matrices: Optional[CostMatrices] = None
+                  ) -> Recommendation:
+        """Produce a recommendation (matrices may be passed in to share
+        the costing work across advisors in comparisons)."""
+        if matrices is None:
+            matrices = build_cost_matrices(problem, provider)
+        start = time.perf_counter()
+        assignment, cost, changes, stats = self._solve(problem, matrices)
+        elapsed = time.perf_counter() - start
+        design = design_from_indices(matrices, assignment,
+                                     problem.initial)
+        return Recommendation(advisor=self.name, design=design,
+                              cost=cost, change_count=changes,
+                              wall_time_seconds=elapsed, stats=stats)
+
+    def _solve(self, problem: ProblemInstance, matrices: CostMatrices):
+        raise NotImplementedError
+
+
+class UnconstrainedAdvisor(Advisor):
+    """The SIGMOD'06 baseline: sequence-graph shortest path."""
+
+    name = "unconstrained"
+
+    def _solve(self, problem: ProblemInstance, matrices: CostMatrices):
+        result = solve_unconstrained(matrices)
+        return (result.assignment, result.cost, result.change_count,
+                {"n_configurations": matrices.n_configurations})
+
+
+class StaticAdvisor(Advisor):
+    """Classical static advisor: one configuration for the whole
+    workload (the degenerate k<=1 case; useful as a floor baseline)."""
+
+    name = "static"
+
+    def _solve(self, problem: ProblemInstance, matrices: CostMatrices):
+        totals = matrices.exec_matrix.sum(axis=0)
+        totals = totals + matrices.trans_matrix[matrices.initial_index]
+        if matrices.final_index is not None:
+            totals = totals + matrices.trans_matrix[
+                :, matrices.final_index]
+        best = int(np.argmin(totals))
+        assignment = tuple([best] * matrices.n_segments)
+        return (assignment, float(totals[best]),
+                matrices.change_count(assignment),
+                {"chosen": matrices.configurations[best].label})
+
+
+class ConstrainedGraphAdvisor(Advisor):
+    """Optimal constrained designs via the k-aware sequence graph."""
+
+    name = "kaware"
+
+    def __init__(self, k: int, count_initial_change: bool = True):
+        super().__init__(count_initial_change)
+        self.k = k
+
+    def _solve(self, problem: ProblemInstance, matrices: CostMatrices):
+        result = solve_constrained(matrices, self.k,
+                                   self.count_initial_change)
+        return (result.assignment, result.cost, result.change_count,
+                {"k": self.k, "layers_used": result.layers_used})
+
+
+class MergingAdvisor(Advisor):
+    """Sequential design merging from the unconstrained optimum."""
+
+    name = "merging"
+
+    def __init__(self, k: int, count_initial_change: bool = True):
+        super().__init__(count_initial_change)
+        self.k = k
+
+    def _solve(self, problem: ProblemInstance, matrices: CostMatrices):
+        unconstrained = solve_unconstrained(matrices)
+        merged = merge_to_k(matrices, list(unconstrained.assignment),
+                            self.k, self.count_initial_change)
+        return (merged.assignment, merged.cost, merged.change_count,
+                {"k": self.k, "merge_steps": len(merged.steps),
+                 "initial_changes": unconstrained.change_count})
+
+
+class RankingAdvisor(Advisor):
+    """Optimal constrained designs via shortest-path ranking."""
+
+    name = "ranking"
+
+    def __init__(self, k: int, count_initial_change: bool = True,
+                 max_paths: int = 200_000):
+        super().__init__(count_initial_change)
+        self.k = k
+        self.max_paths = max_paths
+
+    def _solve(self, problem: ProblemInstance, matrices: CostMatrices):
+        result = solve_by_ranking(matrices, self.k,
+                                  self.count_initial_change,
+                                  max_paths=self.max_paths)
+        return (result.assignment, result.cost, result.change_count,
+                {"k": self.k,
+                 "paths_examined": result.paths_examined})
+
+
+class HybridAdvisor(Advisor):
+    """Switches between the k-aware graph and merging by estimated
+    work (the paper's Section 6.4 suggestion)."""
+
+    name = "hybrid"
+
+    def __init__(self, k: int, count_initial_change: bool = True,
+                 bias: float = 1.0):
+        super().__init__(count_initial_change)
+        self.k = k
+        self.bias = bias
+
+    def _solve(self, problem: ProblemInstance, matrices: CostMatrices):
+        result = solve_hybrid(matrices, self.k,
+                              self.count_initial_change, self.bias)
+        return (result.assignment, result.cost, result.change_count,
+                {"k": self.k, "method": result.method,
+                 "estimated_graph_ops": result.estimated_graph_ops,
+                 "estimated_merge_ops": result.estimated_merge_ops})
+
+
+class GreedySeqAdvisor(Advisor):
+    """GREEDY-SEQ candidate reduction + k-aware search (Section 4.1)."""
+
+    name = "greedy-seq"
+
+    def __init__(self, k: Optional[int],
+                 count_initial_change: bool = True,
+                 union_window: int = 1):
+        super().__init__(count_initial_change)
+        self.k = k
+        self.union_window = union_window
+
+    def recommend(self, problem: ProblemInstance,
+                  provider: CostProvider,
+                  matrices: Optional[CostMatrices] = None
+                  ) -> Recommendation:
+        # Candidate generation is part of this advisor's work, so the
+        # timer wraps it; prebuilt matrices cannot be reused because
+        # the configuration axis changes.
+        start = time.perf_counter()
+        reduced, greedy = reduce_problem(problem, provider,
+                                         union_window=self.union_window)
+        reduced_matrices = build_cost_matrices(reduced, provider)
+        if self.k is None:
+            result = solve_unconstrained(reduced_matrices)
+            assignment, cost = result.assignment, result.cost
+            changes = result.change_count
+        else:
+            constrained = solve_constrained(reduced_matrices, self.k,
+                                            self.count_initial_change)
+            assignment, cost = constrained.assignment, constrained.cost
+            changes = constrained.change_count
+        elapsed = time.perf_counter() - start
+        design = design_from_indices(reduced_matrices, assignment,
+                                     problem.initial)
+        return Recommendation(
+            advisor=self.name, design=design, cost=cost,
+            change_count=changes, wall_time_seconds=elapsed,
+            stats={"k": self.k,
+                   "candidates": len(greedy.configurations),
+                   "full_space": problem.n_configurations,
+                   "probes": greedy.n_explored})
+
+    def _solve(self, problem, matrices):  # pragma: no cover
+        raise DesignError("GreedySeqAdvisor overrides recommend()")

@@ -1,0 +1,239 @@
+"""Cost providers and the EXEC/TRANS matrices driving the optimizers.
+
+All design algorithms consume costs through the :class:`CostProvider`
+protocol: ``exec_cost(segment, config)``, ``trans_cost(old, new)`` and
+``size_bytes(config)``. The primary implementation wraps the engine's
+what-if optimizer; a matrix-backed provider supports synthetic tests
+and replays.
+
+For the graph/DP algorithms the costs are materialized once into dense
+NumPy matrices (:class:`CostMatrices`): ``exec_matrix[i, j]`` is
+EXEC(segment i, config j) and ``trans_matrix[i, j]`` is
+TRANS(config i -> config j).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import DesignError
+from ..sqlengine.whatif import WhatIfOptimizer
+from ..workload.segmentation import Segment
+from .problem import ProblemInstance
+from .structures import Configuration
+
+
+class CostProvider(Protocol):
+    """What the design algorithms need to know about costs."""
+
+    def exec_cost(self, segment: Segment,
+                  config: Configuration) -> float:
+        """EXEC: cost of executing the segment under the config."""
+
+    def trans_cost(self, old: Configuration,
+                   new: Configuration) -> float:
+        """TRANS: cost of changing the design from old to new."""
+
+    def size_bytes(self, config: Configuration) -> int:
+        """SIZE: bytes of storage the configuration occupies."""
+
+
+class WhatIfCostProvider:
+    """Cost provider backed by the engine's what-if optimizer.
+
+    Statement-level estimates are cached by ``(sql, config)`` so that
+    repeated statements (ubiquitous in generated workloads) and repeated
+    sweeps over the same workload cost nothing extra.
+    """
+
+    def __init__(self, optimizer: WhatIfOptimizer):
+        self.optimizer = optimizer
+        self._exec_cache: Dict[Tuple[str, Configuration], float] = {}
+        self._trans_cache: Dict[Tuple[Configuration, Configuration],
+                                float] = {}
+        self._size_cache: Dict[Configuration, int] = {}
+
+    def exec_cost(self, segment: Segment,
+                  config: Configuration) -> float:
+        total = 0.0
+        for statement in segment:
+            key = (statement.sql, config)
+            units = self._exec_cache.get(key)
+            if units is None:
+                units = self.optimizer.estimate_statement(
+                    statement.ast, config.indexes).units
+                self._exec_cache[key] = units
+            total += units
+        return total
+
+    def trans_cost(self, old: Configuration,
+                   new: Configuration) -> float:
+        key = (old, new)
+        units = self._trans_cache.get(key)
+        if units is None:
+            units = self.optimizer.transition_units(old.indexes,
+                                                    new.indexes)
+            self._trans_cache[key] = units
+        return units
+
+    def size_bytes(self, config: Configuration) -> int:
+        size = self._size_cache.get(config)
+        if size is None:
+            size = self.optimizer.configuration_size_bytes(config.indexes)
+            self._size_cache[config] = size
+        return size
+
+
+class MatrixCostProvider:
+    """Cost provider backed by explicit matrices (tests, synthetics).
+
+    Args:
+        segments: the segment axis.
+        configurations: the configuration axis.
+        exec_matrix: (n_segments, n_configs).
+        trans_matrix: (n_configs, n_configs); diagonal must be zero.
+        sizes: optional per-configuration sizes in bytes.
+    """
+
+    def __init__(self, segments: Sequence[Segment],
+                 configurations: Sequence[Configuration],
+                 exec_matrix: np.ndarray, trans_matrix: np.ndarray,
+                 sizes: Optional[Mapping[Configuration, int]] = None):
+        exec_matrix = np.asarray(exec_matrix, dtype=np.float64)
+        trans_matrix = np.asarray(trans_matrix, dtype=np.float64)
+        if exec_matrix.shape != (len(segments), len(configurations)):
+            raise DesignError("exec matrix shape mismatch")
+        if trans_matrix.shape != (len(configurations),
+                                  len(configurations)):
+            raise DesignError("trans matrix shape mismatch")
+        if np.any(np.diag(trans_matrix) != 0.0):
+            raise DesignError("TRANS(C, C) must be zero")
+        self._seg_index = {id(s): i for i, s in enumerate(segments)}
+        self._cfg_index = {c: i for i, c in enumerate(configurations)}
+        self.exec_matrix = exec_matrix
+        self.trans_matrix = trans_matrix
+        self._sizes = dict(sizes) if sizes else {}
+
+    def exec_cost(self, segment: Segment,
+                  config: Configuration) -> float:
+        return float(self.exec_matrix[self._seg_index[id(segment)],
+                                      self._cfg_index[config]])
+
+    def trans_cost(self, old: Configuration,
+                   new: Configuration) -> float:
+        return float(self.trans_matrix[self._cfg_index[old],
+                                       self._cfg_index[new]])
+
+    def size_bytes(self, config: Configuration) -> int:
+        return self._sizes.get(config, 0)
+
+
+@dataclass
+class CostMatrices:
+    """Dense EXEC/TRANS matrices for one problem instance.
+
+    Attributes:
+        configurations: the configuration axis (column order).
+        exec_matrix: (n_segments, n_configs) EXEC costs.
+        trans_matrix: (n_configs, n_configs) TRANS costs, zero diagonal.
+        initial_index: column of the initial configuration.
+        final_index: column of the required final configuration, or
+            None when the destination is unconstrained.
+    """
+
+    configurations: Tuple[Configuration, ...]
+    exec_matrix: np.ndarray
+    trans_matrix: np.ndarray
+    initial_index: int
+    final_index: Optional[int] = None
+    _exec_prefix: Optional[np.ndarray] = field(default=None, repr=False)
+
+    @property
+    def n_segments(self) -> int:
+        return self.exec_matrix.shape[0]
+
+    @property
+    def n_configurations(self) -> int:
+        return len(self.configurations)
+
+    def config_index(self, config: Configuration) -> int:
+        for i, candidate in enumerate(self.configurations):
+            if candidate == config:
+                return i
+        raise DesignError(f"{config} is not a candidate configuration")
+
+    def exec_prefix_sums(self) -> np.ndarray:
+        """``P[i, j] = sum of exec_matrix[:i, j]`` with a leading zero
+        row — run costs in O(1) for the merging heuristic."""
+        if self._exec_prefix is None:
+            prefix = np.zeros((self.n_segments + 1,
+                               self.n_configurations))
+            np.cumsum(self.exec_matrix, axis=0, out=prefix[1:])
+            self._exec_prefix = prefix
+        return self._exec_prefix
+
+    def exec_run_cost(self, start: int, end: int, cfg_index: int) -> float:
+        """EXEC cost of segments [start, end) under one configuration."""
+        prefix = self.exec_prefix_sums()
+        return float(prefix[end, cfg_index] - prefix[start, cfg_index])
+
+    def sequence_cost(self, assignment: Sequence[int]) -> float:
+        """Objective value of a full design sequence (config indices,
+        one per segment), including the required-final transition rule.
+
+        This is the paper's sum of EXEC + TRANS terms; the optimizers'
+        results are validated against it in the tests.
+        """
+        if len(assignment) != self.n_segments:
+            raise DesignError("assignment length != number of segments")
+        total = 0.0
+        previous = self.initial_index
+        for i, cfg in enumerate(assignment):
+            total += self.trans_matrix[previous, cfg]
+            total += self.exec_matrix[i, cfg]
+            previous = cfg
+        if self.final_index is not None:
+            total += self.trans_matrix[previous, self.final_index]
+        return float(total)
+
+    def change_count(self, assignment: Sequence[int]) -> int:
+        """Number of design changes, counting C0 -> C1 (paper rule).
+
+        A required final configuration does not count toward k (the
+        destination node lies beyond stage n in the sequence graph).
+        """
+        changes = 0
+        previous = self.initial_index
+        for cfg in assignment:
+            if cfg != previous:
+                changes += 1
+            previous = cfg
+        return changes
+
+
+def build_cost_matrices(problem: ProblemInstance,
+                        provider: CostProvider) -> CostMatrices:
+    """Materialize EXEC and TRANS matrices for a problem instance."""
+    configs = problem.configurations
+    n_seg, n_cfg = problem.n_segments, len(configs)
+    exec_matrix = np.empty((n_seg, n_cfg), dtype=np.float64)
+    for i, segment in enumerate(problem.segments):
+        for j, config in enumerate(configs):
+            exec_matrix[i, j] = provider.exec_cost(segment, config)
+    trans_matrix = np.zeros((n_cfg, n_cfg), dtype=np.float64)
+    for i, old in enumerate(configs):
+        for j, new in enumerate(configs):
+            if i != j:
+                trans_matrix[i, j] = provider.trans_cost(old, new)
+    initial_index = configs.index(problem.initial)
+    final_index = None
+    if problem.final is not None:
+        final_index = configs.index(problem.final)
+    return CostMatrices(configurations=tuple(configs),
+                        exec_matrix=exec_matrix,
+                        trans_matrix=trans_matrix,
+                        initial_index=initial_index,
+                        final_index=final_index)

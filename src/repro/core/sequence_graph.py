@@ -1,0 +1,212 @@
+"""Sequence graphs and the unconstrained optimum (Agrawal et al.).
+
+The set of dynamic physical designs for a workload is isomorphic to
+the set of source-to-sink paths in a *sequence graph*: one stage of
+nodes per statement (one node per candidate configuration), a source
+for C0 and an (optionally constrained) destination. Node ``(i, C)``
+costs ``EXEC(S_i, C)``; the edge into it costs ``TRANS``. The optimal
+unconstrained design is the shortest path (the SIGMOD'06 baseline the
+paper builds on).
+
+Because the graph is a layered DAG, we solve it as a stage-by-stage
+dynamic program, vectorized over the transition matrix; a pure-Python
+reference implementation is kept for the tests. The explicit graph
+representation (:class:`SequenceGraph`) backs the path-ranking solver
+of Section 5 and the graph-shape unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .costmatrix import CostMatrices
+
+#: Node identifiers in the explicit graph.
+SOURCE = ("source",)
+SINK = ("sink",)
+Node = Tuple
+
+
+@dataclass(frozen=True)
+class ShortestPathResult:
+    """Outcome of a sequence-graph optimization.
+
+    Attributes:
+        assignment: configuration index per segment.
+        cost: objective value (EXEC + TRANS, incl. final transition).
+        change_count: number of design changes along the path.
+    """
+
+    assignment: Tuple[int, ...]
+    cost: float
+    change_count: int
+
+
+def solve_unconstrained(matrices: CostMatrices) -> ShortestPathResult:
+    """Shortest path through the sequence graph, as a vectorized DP.
+
+    ``dist[c]`` after stage i is the cheapest cost of any design prefix
+    ending with configuration c at segment i. The stage transition is
+    ``dist' = min over p of dist[p] + trans[p, c] + exec[i, c]`` —
+    one (|C| x |C|) matrix-broadcast per stage.
+    """
+    exec_matrix, trans = matrices.exec_matrix, matrices.trans_matrix
+    n_seg, n_cfg = exec_matrix.shape
+    parents = np.empty((n_seg, n_cfg), dtype=np.int64)
+    dist = trans[matrices.initial_index] + exec_matrix[0]
+    parents[0] = matrices.initial_index
+    for i in range(1, n_seg):
+        reach = dist[:, None] + trans          # reach[p, c]
+        best_parent = np.argmin(reach, axis=0)
+        dist = reach[best_parent, np.arange(n_cfg)] + exec_matrix[i]
+        parents[i] = best_parent
+    if matrices.final_index is not None:
+        dist = dist + trans[:, matrices.final_index]
+    last = int(np.argmin(dist))
+    cost = float(dist[last])
+    assignment = _walk_parents(parents, last)
+    return ShortestPathResult(
+        assignment=assignment, cost=cost,
+        change_count=matrices.change_count(assignment))
+
+
+def solve_unconstrained_reference(matrices: CostMatrices
+                                  ) -> ShortestPathResult:
+    """Pure-Python reference DP (used to validate the vectorized one)."""
+    exec_matrix, trans = matrices.exec_matrix, matrices.trans_matrix
+    n_seg, n_cfg = exec_matrix.shape
+    dist = [float(trans[matrices.initial_index, c] + exec_matrix[0, c])
+            for c in range(n_cfg)]
+    parents: List[List[int]] = [[matrices.initial_index] * n_cfg]
+    for i in range(1, n_seg):
+        new_dist = []
+        stage_parents = []
+        for c in range(n_cfg):
+            best, best_p = float("inf"), 0
+            for p in range(n_cfg):
+                candidate = dist[p] + float(trans[p, c])
+                if candidate < best:
+                    best, best_p = candidate, p
+            new_dist.append(best + float(exec_matrix[i, c]))
+            stage_parents.append(best_p)
+        dist = new_dist
+        parents.append(stage_parents)
+    if matrices.final_index is not None:
+        dist = [d + float(trans[c, matrices.final_index])
+                for c, d in enumerate(dist)]
+    last = min(range(n_cfg), key=lambda c: dist[c])
+    cost = float(dist[last])
+    assignment = [last]
+    for i in range(n_seg - 1, 0, -1):
+        last = parents[i][last]
+        assignment.append(last)
+    assignment.reverse()
+    assignment_t = tuple(assignment)
+    return ShortestPathResult(
+        assignment=assignment_t, cost=cost,
+        change_count=matrices.change_count(assignment_t))
+
+
+def _walk_parents(parents: np.ndarray, last: int) -> Tuple[int, ...]:
+    n_seg = parents.shape[0]
+    assignment = [last]
+    for i in range(n_seg - 1, 0, -1):
+        last = int(parents[i, last])
+        assignment.append(last)
+    assignment.reverse()
+    return tuple(assignment)
+
+
+class SequenceGraph:
+    """Explicit sequence graph (nodes, weighted edges).
+
+    Node identifiers: ``SOURCE``, ``(stage, config_index)`` and
+    ``SINK``. Edge weights fold the target node's EXEC cost into the
+    incoming edge, so path length equals the design objective.
+    """
+
+    def __init__(self, matrices: CostMatrices):
+        self.matrices = matrices
+        self.n_segments = matrices.n_segments
+        self.n_configurations = matrices.n_configurations
+
+    # -- graph shape -----------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return self.n_segments * self.n_configurations + 2
+
+    @property
+    def n_edges(self) -> int:
+        c = self.n_configurations
+        return c + (self.n_segments - 1) * c * c + c
+
+    def nodes(self) -> List[Node]:
+        out: List[Node] = [SOURCE]
+        for stage in range(self.n_segments):
+            out.extend((stage, cfg)
+                       for cfg in range(self.n_configurations))
+        out.append(SINK)
+        return out
+
+    # -- adjacency ---------------------------------------------------------
+
+    def successors(self, node: Node) -> List[Tuple[Node, float]]:
+        matrices = self.matrices
+        if node == SOURCE:
+            return [((0, c), float(
+                matrices.trans_matrix[matrices.initial_index, c] +
+                matrices.exec_matrix[0, c]))
+                for c in range(self.n_configurations)]
+        if node == SINK:
+            return []
+        stage, cfg = node
+        if stage == self.n_segments - 1:
+            if matrices.final_index is not None:
+                return [(SINK, float(
+                    matrices.trans_matrix[cfg, matrices.final_index]))]
+            return [(SINK, 0.0)]
+        return [((stage + 1, c), float(
+            matrices.trans_matrix[cfg, c] +
+            matrices.exec_matrix[stage + 1, c]))
+            for c in range(self.n_configurations)]
+
+    def predecessors(self, node: Node) -> List[Tuple[Node, float]]:
+        matrices = self.matrices
+        if node == SOURCE:
+            return []
+        if node == SINK:
+            if matrices.final_index is not None:
+                return [((self.n_segments - 1, c), float(
+                    matrices.trans_matrix[c, matrices.final_index]))
+                    for c in range(self.n_configurations)]
+            return [((self.n_segments - 1, c), 0.0)
+                    for c in range(self.n_configurations)]
+        stage, cfg = node
+        if stage == 0:
+            return [(SOURCE, float(
+                matrices.trans_matrix[matrices.initial_index, cfg] +
+                matrices.exec_matrix[0, cfg]))]
+        return [((stage - 1, c), float(
+            matrices.trans_matrix[c, cfg] +
+            matrices.exec_matrix[stage, cfg]))
+            for c in range(self.n_configurations)]
+
+    def path_assignment(self, path: Sequence[Node]) -> Tuple[int, ...]:
+        """Extract the per-segment configuration indices from a
+        source-to-sink node path."""
+        return tuple(cfg for node in path[1:-1] for cfg in [node[1]])
+
+    def path_cost(self, path: Sequence[Node]) -> float:
+        total = 0.0
+        for current, nxt in zip(path, path[1:]):
+            for successor, weight in self.successors(current):
+                if successor == nxt:
+                    total += weight
+                    break
+            else:
+                raise ValueError(f"no edge {current} -> {nxt}")
+        return total

@@ -1,0 +1,103 @@
+"""Physical-design configurations.
+
+A :class:`Configuration` is a set of design structures — here, index
+definitions — exactly the paper's ``C_i``. Configurations are immutable
+and hashable so they can be graph nodes, matrix axes, and dict keys.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator, Tuple
+
+from ..sqlengine.index import IndexDef, structure_sort_key
+
+
+class Configuration:
+    """An immutable set of :class:`IndexDef`.
+
+    The empty configuration prints as ``{}``; others use the paper's
+    index notation, e.g. ``{I(a,b), I(c)}``.
+    """
+
+    __slots__ = ("_indexes", "_hash")
+
+    def __init__(self, indexes: Iterable[IndexDef] = ()):
+        self._indexes: FrozenSet[IndexDef] = frozenset(indexes)
+        self._hash = hash(self._indexes)
+
+    # -- set-ish interface ------------------------------------------------
+
+    @property
+    def indexes(self) -> FrozenSet[IndexDef]:
+        return self._indexes
+
+    def __iter__(self) -> Iterator[IndexDef]:
+        return iter(sorted(self._indexes, key=structure_sort_key))
+
+    def __len__(self) -> int:
+        return len(self._indexes)
+
+    def __contains__(self, definition: IndexDef) -> bool:
+        return definition in self._indexes
+
+    def union(self, other: "Configuration") -> "Configuration":
+        return Configuration(self._indexes | other._indexes)
+
+    def with_index(self, definition: IndexDef) -> "Configuration":
+        return Configuration(self._indexes | {definition})
+
+    def without_index(self, definition: IndexDef) -> "Configuration":
+        return Configuration(self._indexes - {definition})
+
+    def added(self, other: "Configuration") -> FrozenSet[IndexDef]:
+        """Indexes present here but not in ``other``."""
+        return self._indexes - other._indexes
+
+    def dropped(self, other: "Configuration") -> FrozenSet[IndexDef]:
+        """Indexes present in ``other`` but not here."""
+        return other._indexes - self._indexes
+
+    # -- identity ----------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Configuration) and
+                other._indexes == self._indexes)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "Configuration") -> bool:
+        return sorted(self._indexes, key=structure_sort_key) < \
+            sorted(other._indexes, key=structure_sort_key)
+
+    # -- display -----------------------------------------------------------
+
+    @property
+    def label(self) -> str:
+        if not self._indexes:
+            return "{}"
+        return "{" + ", ".join(
+            d.label for d in sorted(self._indexes,
+                                    key=structure_sort_key)) + "}"
+
+    def __repr__(self) -> str:
+        return f"Configuration({self.label})"
+
+    def __str__(self) -> str:
+        return self.label
+
+
+#: The empty configuration (the paper's usual C0).
+EMPTY_CONFIGURATION = Configuration()
+
+
+def single_index_configurations(
+        candidates: Iterable[IndexDef],
+        include_empty: bool = True) -> Tuple[Configuration, ...]:
+    """The paper's experimental design space: at most one index."""
+    configs = [Configuration({d})
+               for d in sorted(set(candidates),
+                               key=structure_sort_key)]
+    if include_empty:
+        configs.insert(0, EMPTY_CONFIGURATION)
+    return tuple(configs)

@@ -1,0 +1,87 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class. Subsystems add narrower classes;
+the SQL front end additionally carries source positions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class EngineError(ReproError):
+    """Base class for errors raised by the embedded SQL engine."""
+
+
+class CatalogError(EngineError):
+    """A table or index is missing, duplicated, or otherwise misdefined."""
+
+
+class SchemaError(EngineError):
+    """A schema definition is invalid (bad column, duplicate name, ...)."""
+
+
+class StorageError(EngineError):
+    """The storage layer was asked to do something impossible."""
+
+
+class TypeMismatchError(EngineError):
+    """A value does not match the declared column type."""
+
+
+class SqlError(EngineError):
+    """Base class for SQL front-end errors."""
+
+
+class SqlSyntaxError(SqlError):
+    """The SQL text could not be parsed.
+
+    Attributes:
+        position: character offset into the SQL text where parsing failed.
+    """
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class SqlUnsupportedError(SqlError):
+    """The SQL is valid but uses a feature outside the supported subset."""
+
+
+class PlanningError(EngineError):
+    """No executable plan could be produced for a statement."""
+
+
+class DesignError(ReproError):
+    """Base class for errors in the physical-design layer."""
+
+
+class InfeasibleProblemError(DesignError):
+    """The design problem has no feasible solution.
+
+    Raised, for example, when the space bound excludes every candidate
+    configuration, or the change budget is negative.
+    """
+
+
+class RankingExhaustedError(DesignError):
+    """Path ranking hit its enumeration cap before finding a feasible path.
+
+    Attributes:
+        paths_examined: how many paths were enumerated before giving up.
+        best_infeasible_cost: cost of the cheapest (infeasible) path seen.
+    """
+
+    def __init__(self, message: str, paths_examined: int,
+                 best_infeasible_cost: float):
+        super().__init__(message)
+        self.paths_examined = paths_examined
+        self.best_infeasible_cost = best_infeasible_cost
+
+
+class WorkloadError(ReproError):
+    """A workload definition or trace file is invalid."""

@@ -1,0 +1,33 @@
+"""The embedded SQL engine substrate.
+
+Everything the paper's experiments needed from SQL Server, rebuilt:
+page-organized heap storage, B+-tree indexes, a SQL subset front end,
+statistics, a cost model, a what-if optimizer, and a metered executor.
+"""
+
+from .buffer import BufferManager, IoMetrics
+from .btree import BPlusTree
+from .costmodel import Cost, CostParams, MeteredCost
+from .database import Database, TransitionReport
+from .executor import Executor, QueryResult
+from .index import Index, IndexDef, IndexGeometry
+from .planner import (AccessPath, QueryInfo, analyze_select,
+                      choose_access_path, enumerate_access_paths)
+from .schema import Column, TableSchema
+from .sql import parse
+from .stats import ColumnStats, EquiDepthHistogram, TableStats
+from .storage import HeapTable, PAGE_SIZE_BYTES
+from .types import ColumnType, Value
+from .views import MaterializedView, ViewDef, ViewGeometry
+from .whatif import PlanEstimate, WhatIfOptimizer
+
+__all__ = [
+    "BufferManager", "IoMetrics", "BPlusTree", "Cost", "CostParams",
+    "MeteredCost", "Database", "TransitionReport", "Executor",
+    "QueryResult", "Index", "IndexDef", "IndexGeometry", "AccessPath",
+    "QueryInfo", "analyze_select", "choose_access_path",
+    "enumerate_access_paths", "Column", "TableSchema", "parse",
+    "ColumnStats", "EquiDepthHistogram", "TableStats", "HeapTable",
+    "PAGE_SIZE_BYTES", "ColumnType", "Value", "PlanEstimate",
+    "WhatIfOptimizer", "MaterializedView", "ViewDef", "ViewGeometry",
+]

@@ -1,0 +1,142 @@
+"""Buffer manager: an LRU page cache with I/O metering.
+
+Every access path in the executor charges its page touches through a
+:class:`BufferManager`. Logical reads that hit the cache cost nothing at
+the I/O level; misses count as physical reads. The resulting counters
+are the raw material for the deterministic "execution time" metric used
+to reproduce the paper's Figure 3 (which reports *relative* times, so a
+deterministic simulated clock preserves the comparisons exactly).
+
+Pages are identified by ``(object_id, page_no)`` where the object id is
+assigned by the storage layer (one per heap file or index).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterable, Tuple
+
+PageId = Tuple[int, int]
+
+#: Default buffer pool capacity in pages (8 KiB pages -> 64 MiB pool).
+DEFAULT_CAPACITY_PAGES = 8192
+
+
+@dataclass
+class IoMetrics:
+    """Counters accumulated by a :class:`BufferManager`.
+
+    Attributes:
+        logical_reads: page requests, whether or not they hit the cache.
+        physical_reads: page requests that missed the cache.
+        physical_writes: pages written out (index builds, DML).
+    """
+
+    logical_reads: int = 0
+    physical_reads: int = 0
+    physical_writes: int = 0
+
+    def copy(self) -> "IoMetrics":
+        return IoMetrics(self.logical_reads, self.physical_reads,
+                         self.physical_writes)
+
+    def __sub__(self, other: "IoMetrics") -> "IoMetrics":
+        return IoMetrics(
+            self.logical_reads - other.logical_reads,
+            self.physical_reads - other.physical_reads,
+            self.physical_writes - other.physical_writes,
+        )
+
+    def __add__(self, other: "IoMetrics") -> "IoMetrics":
+        return IoMetrics(
+            self.logical_reads + other.logical_reads,
+            self.physical_reads + other.physical_reads,
+            self.physical_writes + other.physical_writes,
+        )
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.logical_reads == 0:
+            return 1.0
+        return 1.0 - self.physical_reads / self.logical_reads
+
+
+@dataclass
+class BufferManager:
+    """LRU page cache.
+
+    The cache stores only page identities (the engine keeps actual data
+    in column arrays and B+-tree nodes); its job is purely to decide
+    which page touches are physical I/O and to meter them.
+    """
+
+    capacity_pages: int = DEFAULT_CAPACITY_PAGES
+    metrics: IoMetrics = field(default_factory=IoMetrics)
+    _lru: "OrderedDict[PageId, None]" = field(default_factory=OrderedDict)
+    _next_object_id: int = 1
+
+    def allocate_object_id(self) -> int:
+        """Hand out a fresh object id for a new heap file or index."""
+        object_id = self._next_object_id
+        self._next_object_id += 1
+        return object_id
+
+    def read_page(self, page_id: PageId) -> bool:
+        """Record a read of ``page_id``. Returns True on a cache hit."""
+        self.metrics.logical_reads += 1
+        if page_id in self._lru:
+            self._lru.move_to_end(page_id)
+            return True
+        self.metrics.physical_reads += 1
+        self._admit(page_id)
+        return False
+
+    def read_pages(self, object_id: int, page_nos: Iterable[int]) -> int:
+        """Read a batch of pages of one object; returns the miss count."""
+        misses = 0
+        for page_no in page_nos:
+            if not self.read_page((object_id, page_no)):
+                misses += 1
+        return misses
+
+    def read_range(self, object_id: int, n_pages: int) -> int:
+        """Sequentially read pages ``0..n_pages-1`` of an object."""
+        return self.read_pages(object_id, range(n_pages))
+
+    def write_page(self, page_id: PageId) -> None:
+        """Record a page write; the page is cached afterwards."""
+        self.metrics.physical_writes += 1
+        if page_id in self._lru:
+            self._lru.move_to_end(page_id)
+        else:
+            self._admit(page_id)
+
+    def invalidate_object(self, object_id: int) -> None:
+        """Drop all cached pages of an object (e.g. on index drop)."""
+        stale = [pid for pid in self._lru if pid[0] == object_id]
+        for pid in stale:
+            del self._lru[pid]
+
+    def clear(self) -> None:
+        """Empty the cache (counters are kept; use reset_metrics too)."""
+        self._lru.clear()
+
+    def reset_metrics(self) -> IoMetrics:
+        """Zero the counters, returning the values they had."""
+        old = self.metrics
+        self.metrics = IoMetrics()
+        return old
+
+    def snapshot(self) -> IoMetrics:
+        """Copy of the current counters (for delta measurements)."""
+        return self.metrics.copy()
+
+    @property
+    def cached_pages(self) -> int:
+        return len(self._lru)
+
+    def _admit(self, page_id: PageId) -> None:
+        self._lru[page_id] = None
+        while len(self._lru) > self.capacity_pages:
+            self._lru.popitem(last=False)

@@ -1,0 +1,199 @@
+"""The engine's cost model.
+
+Costs are expressed in deterministic *cost units*:
+
+``units = page_reads * io_read_cost + page_writes * io_write_cost
+        + cpu_ops * cpu_op_cost``
+
+The same weights are used by the what-if optimizer (estimates) and by
+the executor (metered actuals), so estimated EXEC/TRANS values and
+measured replay times live on one scale. Page counts are *logical*
+touches — deterministic and independent of buffer-pool history — while
+the buffer manager separately tracks physical I/O for reporting.
+
+Access paths:
+
+* **full scan** — read every heap page, examine every row.
+* **index seek** — descend the B+-tree using an equality prefix of the
+  key (optionally followed by a range on the next key column), read the
+  matching leaf pages, then fetch qualifying heap rows unless the index
+  covers every referenced column.
+* **index-only scan** — read the whole leaf level of a covering index
+  instead of the (wider) heap. This path is what makes ``I(a,b)``
+  preferable to ``I(a)`` under the paper's query mix A, and is required
+  to reproduce Table 2.
+
+Transitions (the paper's TRANS) price index builds as a heap scan plus
+a sort plus writing every index page; drops cost a catalog touch.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from .index import IndexGeometry
+from .stats import TableStats
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Weights of the cost model.
+
+    The defaults approximate a disk-resident system: a page read is
+    thousands of times a per-row CPU operation, random row fetches pay
+    an extra factor, and writes are costlier than reads.
+    """
+
+    io_read_cost: float = 1.0
+    io_write_cost: float = 2.0
+    random_io_factor: float = 2.5
+    cpu_tuple_cost: float = 0.001
+    cpu_index_tuple_cost: float = 0.0005
+    cpu_sort_factor: float = 0.002
+    drop_index_cost: float = 10.0
+
+    def units(self, page_reads: float, page_writes: float,
+              cpu_ops: float) -> float:
+        return (page_reads * self.io_read_cost +
+                page_writes * self.io_write_cost + cpu_ops)
+
+
+@dataclass(frozen=True)
+class Cost:
+    """A cost estimate with its breakdown.
+
+    ``cpu_units`` is already weighted (cost units, not raw operation
+    counts); the page counters are raw pages.
+    """
+
+    page_reads: float = 0.0
+    page_writes: float = 0.0
+    cpu_units: float = 0.0
+
+    def total(self, params: CostParams) -> float:
+        return params.units(self.page_reads, self.page_writes,
+                            self.cpu_units)
+
+    def __add__(self, other: "Cost") -> "Cost":
+        return Cost(self.page_reads + other.page_reads,
+                    self.page_writes + other.page_writes,
+                    self.cpu_units + other.cpu_units)
+
+
+ZERO_COST = Cost()
+
+
+def cost_full_scan(stats: TableStats, params: CostParams) -> Cost:
+    """Sequentially read every heap page and examine every row."""
+    return Cost(page_reads=float(stats.n_pages),
+                cpu_units=stats.nrows * params.cpu_tuple_cost)
+
+
+def cost_index_seek(stats: TableStats, geometry: IndexGeometry,
+                    key_selectivity: float, covering: bool,
+                    residual_selectivity: float,
+                    params: CostParams) -> Cost:
+    """Seek with an equality/range prefix selecting ``key_selectivity``
+    of the rows; fetch heap rows unless ``covering``.
+
+    ``residual_selectivity`` is the fraction of seek output that also
+    passes predicates not answerable from the index key (it shrinks the
+    number of heap fetches only when the filter can be applied to the
+    index entries, i.e. when those columns are part of the key —
+    callers fold that in).
+    """
+    matched = key_selectivity * stats.nrows
+    reads = float(geometry.height)
+    reads += geometry.leaf_pages_for(matched)
+    cpu = matched * params.cpu_index_tuple_cost
+    if not covering:
+        fetched = matched * residual_selectivity
+        # Unclustered heap fetches: each qualifying row costs a random
+        # page read, capped by the table size (big scans degrade to the
+        # sequential bound).
+        random_reads = min(fetched * params.random_io_factor,
+                           float(stats.n_pages))
+        reads += random_reads
+        cpu += fetched * params.cpu_tuple_cost
+    return Cost(page_reads=reads, cpu_units=cpu)
+
+
+def cost_index_only_scan(stats: TableStats, geometry: IndexGeometry,
+                         params: CostParams) -> Cost:
+    """Scan the full leaf level of a covering index."""
+    return Cost(page_reads=float(geometry.leaf_pages),
+                cpu_units=stats.nrows * params.cpu_index_tuple_cost)
+
+
+def cost_build_index(stats: TableStats, geometry: IndexGeometry,
+                     params: CostParams) -> Cost:
+    """Build an index: scan the heap, sort the entries, write the tree."""
+    n = max(1, stats.nrows)
+    sort_cpu = params.cpu_sort_factor * n * math.log2(n + 1) / 1000.0
+    return Cost(page_reads=float(stats.n_pages),
+                page_writes=float(geometry.total_pages),
+                cpu_units=sort_cpu)
+
+
+def cost_drop_index(params: CostParams) -> Cost:
+    """Drop an index or view: catalog update plus page deallocation."""
+    return Cost(page_writes=params.drop_index_cost)
+
+
+def cost_sort(n_rows: float, params: CostParams) -> Cost:
+    """In-memory sort of ``n_rows`` result rows (ORDER BY without an
+    order-providing access path)."""
+    n = max(1.0, n_rows)
+    return Cost(cpu_units=params.cpu_sort_factor * n *
+                math.log2(n + 1))
+
+
+def cost_view_scan(stats: TableStats, n_view_pages: int,
+                   params: CostParams) -> Cost:
+    """Sequentially read every page of a projection view and examine
+    every row (narrower pages than the base heap)."""
+    return Cost(page_reads=float(n_view_pages),
+                cpu_units=stats.nrows * params.cpu_tuple_cost)
+
+
+def cost_build_view(stats: TableStats, n_view_pages: int,
+                    params: CostParams) -> Cost:
+    """Materialize a projection view: scan the heap, write the view
+    pages — no sort, unlike an index build."""
+    return Cost(page_reads=float(stats.n_pages),
+                page_writes=float(n_view_pages),
+                cpu_units=stats.nrows * params.cpu_tuple_cost)
+
+
+def cost_insert(stats: TableStats, n_indexes: int,
+                params: CostParams) -> Cost:
+    """Append one row and maintain each index (descent + leaf write)."""
+    return Cost(page_reads=float(n_indexes) * 2.0,
+                page_writes=1.0 + n_indexes,
+                cpu_units=(1 + n_indexes) * params.cpu_tuple_cost)
+
+
+@dataclass
+class MeteredCost:
+    """Mutable accumulator used by the executor; convertible to Cost."""
+
+    page_reads: float = 0.0
+    page_writes: float = 0.0
+    cpu_units: float = 0.0
+    rows_examined: int = 0
+    rows_returned: int = 0
+
+    def add_reads(self, pages: float) -> None:
+        self.page_reads += pages
+
+    def add_writes(self, pages: float) -> None:
+        self.page_writes += pages
+
+    def add_cpu(self, units: float) -> None:
+        self.cpu_units += units
+
+    def freeze(self) -> Cost:
+        return Cost(self.page_reads, self.page_writes, self.cpu_units)
+
+    def total(self, params: CostParams) -> float:
+        return self.freeze().total(params)

@@ -1,0 +1,310 @@
+"""The embedded database facade.
+
+:class:`Database` owns the catalog (tables, indexes, materialized
+views), the shared buffer pool, statistics, and the what-if optimizer.
+It executes SQL text or pre-parsed ASTs, and exposes the
+physical-design operations the advisor layer needs: materializing and
+dropping structures, applying whole configurations, and costing
+statements under hypothetical designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..errors import CatalogError, SqlUnsupportedError
+from .buffer import BufferManager
+from .costmodel import CostParams, MeteredCost
+from .executor import Executor, QueryResult
+from .index import Index, IndexDef, structure_sort_key
+from .schema import TableSchema
+from .sql.ast import (CreateIndexStmt, CreateTableStmt, DeleteStmt,
+                      DropIndexStmt, DropTableStmt, InsertStmt, SelectStmt,
+                      Statement, UpdateStmt)
+from .sql.parser import parse
+from .stats import TableStats
+from .storage import HeapTable
+from .types import ColumnType, parse_column_type
+from .views import MaterializedView, ViewDef
+from .whatif import PlanEstimate, WhatIfOptimizer
+
+
+@dataclass
+class TransitionReport:
+    """What happened when a configuration was applied."""
+
+    created: List[IndexDef]
+    dropped: List[IndexDef]
+    metered: MeteredCost
+
+    def units(self, params: CostParams) -> float:
+        return self.metered.total(params)
+
+
+class Database:
+    """An embedded single-node database instance.
+
+    Args:
+        params: cost-model weights shared by planner, executor and
+            what-if optimizer.
+        buffer_capacity_pages: buffer pool size.
+    """
+
+    def __init__(self, params: Optional[CostParams] = None,
+                 buffer_capacity_pages: int = 8192):
+        self.params = params or CostParams()
+        self.buffer_manager = BufferManager(
+            capacity_pages=buffer_capacity_pages)
+        self.tables: Dict[str, HeapTable] = {}
+        self.indexes_by_name: Dict[str, Index] = {}
+        self.views_by_name: Dict[str, MaterializedView] = {}
+        self._stats_cache: Dict[str, TableStats] = {}
+
+    # ------------------------------------------------------------------
+    # DDL / loading
+    # ------------------------------------------------------------------
+
+    def create_table(self, name: str,
+                     columns: Sequence[Tuple[str, Union[str, ColumnType]]]
+                     ) -> HeapTable:
+        """Create a table from ``(name, type)`` pairs."""
+        if name in self.tables:
+            raise CatalogError(f"table {name!r} already exists")
+        typed = [(c, t if isinstance(t, ColumnType)
+                  else parse_column_type(t)) for c, t in columns]
+        schema = TableSchema.build(name, typed)
+        table = HeapTable(schema, self.buffer_manager)
+        self.tables[name] = table
+        self._stats_cache.pop(name, None)
+        return table
+
+    def drop_table(self, name: str) -> None:
+        table = self.table(name)
+        for index in list(self.indexes_for(name)):
+            self.drop_index(index.name)
+        for view in list(self.views_for(name)):
+            self.drop_view(view.name)
+        self.buffer_manager.invalidate_object(table.object_id)
+        del self.tables[name]
+        self._stats_cache.pop(name, None)
+
+    def bulk_load(self, table_name: str,
+                  columns: Dict[str, Sequence]) -> int:
+        """Bulk-append column data; refreshes stats lazily."""
+        table = self.table(table_name)
+        loaded = table.bulk_load(columns)
+        self._stats_cache.pop(table_name, None)
+        for index in self.indexes_for(table_name):
+            # Rebuild rather than insert row-by-row: bulk loads after
+            # index creation are rare and rebuild matches real engines'
+            # fast-load paths.
+            index._build()
+        for view in self.views_for(table_name):
+            view._build()
+        return loaded
+
+    def create_index(self, definition: IndexDef,
+                     name: Optional[str] = None) -> Index:
+        """Materialize an index (charges its build I/O)."""
+        table = self.table(definition.table)
+        if self.find_index(definition) is not None:
+            raise CatalogError(
+                f"index {definition.label} already exists")
+        index = Index(definition, table, self.buffer_manager, name)
+        if index.name in self.indexes_by_name:
+            raise CatalogError(f"index name {index.name!r} in use")
+        self.indexes_by_name[index.name] = index
+        return index
+
+    def drop_index(self, name: str) -> None:
+        index = self.indexes_by_name.pop(name, None)
+        if index is None:
+            raise CatalogError(f"unknown index {name!r}")
+        self.buffer_manager.invalidate_object(index.object_id)
+
+    def create_view(self, definition: ViewDef,
+                    name: Optional[str] = None) -> MaterializedView:
+        """Materialize a projection view (charges its build I/O)."""
+        table = self.table(definition.table)
+        if self.find_view(definition) is not None:
+            raise CatalogError(
+                f"view {definition.label} already exists")
+        view = MaterializedView(definition, table,
+                                self.buffer_manager, name)
+        if view.name in self.views_by_name:
+            raise CatalogError(f"view name {view.name!r} in use")
+        self.views_by_name[view.name] = view
+        return view
+
+    def drop_view(self, name: str) -> None:
+        view = self.views_by_name.pop(name, None)
+        if view is None:
+            raise CatalogError(f"unknown view {name!r}")
+        self.buffer_manager.invalidate_object(view.object_id)
+
+    # ------------------------------------------------------------------
+    # catalog accessors
+    # ------------------------------------------------------------------
+
+    def table(self, name: str) -> HeapTable:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def indexes_for(self, table_name: str) -> List[Index]:
+        return [ix for ix in self.indexes_by_name.values()
+                if ix.definition.table == table_name]
+
+    def find_index(self, definition: IndexDef) -> Optional[Index]:
+        for index in self.indexes_by_name.values():
+            if index.definition == definition:
+                return index
+        return None
+
+    def views_for(self, table_name: str) -> List[MaterializedView]:
+        return [v for v in self.views_by_name.values()
+                if v.definition.table == table_name]
+
+    def find_view(self, definition: ViewDef
+                  ) -> Optional[MaterializedView]:
+        for view in self.views_by_name.values():
+            if view.definition == definition:
+                return view
+        return None
+
+    def current_configuration(self,
+                              table_name: Optional[str] = None
+                              ) -> frozenset:
+        """The set of materialized structures (indexes and views)."""
+        defs = [ix.definition for ix in self.indexes_by_name.values()
+                if table_name is None or
+                ix.definition.table == table_name]
+        defs.extend(v.definition for v in self.views_by_name.values()
+                    if table_name is None or
+                    v.definition.table == table_name)
+        return frozenset(defs)
+
+    def stats(self, table_name: str) -> TableStats:
+        cached = self._stats_cache.get(table_name)
+        if cached is None or cached.nrows != self.table(table_name).nrows:
+            cached = TableStats.from_table(self.table(table_name))
+            self._stats_cache[table_name] = cached
+        return cached
+
+    def refresh_stats(self) -> None:
+        self._stats_cache.clear()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def execute(self, statement: Union[str, Statement]) -> QueryResult:
+        """Execute SQL text or a parsed statement."""
+        stmt = parse(statement) if isinstance(statement, str) \
+            else statement
+        if isinstance(stmt, CreateTableStmt):
+            self.create_table(stmt.table, list(stmt.columns))
+            return QueryResult(rows=[], metrics=MeteredCost())
+        if isinstance(stmt, CreateIndexStmt):
+            definition = IndexDef(stmt.table, stmt.columns)
+            before = self.buffer_manager.snapshot()
+            self.create_index(definition, stmt.name)
+            delta = self.buffer_manager.snapshot() - before
+            metered = MeteredCost(page_reads=delta.logical_reads,
+                                  page_writes=delta.physical_writes)
+            return QueryResult(rows=[], metrics=metered)
+        if isinstance(stmt, DropIndexStmt):
+            self.drop_index(stmt.name)
+            return QueryResult(rows=[], metrics=MeteredCost(
+                page_writes=self.params.drop_index_cost))
+        if isinstance(stmt, DropTableStmt):
+            self.drop_table(stmt.table)
+            return QueryResult(rows=[], metrics=MeteredCost())
+        if isinstance(stmt, SelectStmt):
+            executor = self._executor_for(stmt.table)
+            return executor.execute_select(stmt, self.stats(stmt.table))
+        if isinstance(stmt, InsertStmt):
+            executor = self._executor_for(stmt.table)
+            result = executor.execute_insert(stmt)
+            self._stats_cache.pop(stmt.table, None)
+            return result
+        if isinstance(stmt, UpdateStmt):
+            executor = self._executor_for(stmt.table)
+            result = executor.execute_update(stmt, self.stats(stmt.table))
+            self._stats_cache.pop(stmt.table, None)
+            return result
+        if isinstance(stmt, DeleteStmt):
+            executor = self._executor_for(stmt.table)
+            result = executor.execute_delete(stmt, self.stats(stmt.table))
+            self._stats_cache.pop(stmt.table, None)
+            return result
+        raise SqlUnsupportedError(
+            f"cannot execute {type(stmt).__name__}")
+
+    def query(self, sql: str) -> List[Tuple]:
+        """Convenience: execute a SELECT and return just the rows."""
+        return self.execute(sql).rows
+
+    def _executor_for(self, table_name: str) -> Executor:
+        table = self.table(table_name)
+        indexes = {ix.definition: ix
+                   for ix in self.indexes_for(table_name)}
+        views = {v.definition: v for v in self.views_for(table_name)}
+        return Executor(table, indexes, self.buffer_manager,
+                        self.params, views=views)
+
+    # ------------------------------------------------------------------
+    # physical design operations
+    # ------------------------------------------------------------------
+
+    def what_if(self) -> WhatIfOptimizer:
+        """A what-if optimizer snapshotting current schemas and stats."""
+        schemas = {name: t.schema for name, t in self.tables.items()}
+        stats = {name: self.stats(name) for name in self.tables}
+        return WhatIfOptimizer(schemas, stats, self.params)
+
+    def estimate(self, statement: Union[str, Statement],
+                 config: Iterable[IndexDef]) -> PlanEstimate:
+        """One-off what-if estimate (prefer reusing :meth:`what_if`)."""
+        stmt = parse(statement) if isinstance(statement, str) \
+            else statement
+        return self.what_if().estimate_statement(stmt, config)
+
+    def apply_configuration(self, config: Iterable[IndexDef],
+                            table_name: Optional[str] = None
+                            ) -> TransitionReport:
+        """Create/drop indexes until the materialized design equals
+        ``config`` (restricted to ``table_name`` if given)."""
+        target = frozenset(config)
+        current = self.current_configuration(table_name)
+        before = self.buffer_manager.snapshot()
+        dropped: List[IndexDef] = []
+        created: List[IndexDef] = []
+        extra_writes = 0.0
+        for definition in sorted(current - target,
+                                 key=structure_sort_key):
+            if isinstance(definition, ViewDef):
+                view = self.find_view(definition)
+                assert view is not None
+                self.drop_view(view.name)
+            else:
+                index = self.find_index(definition)
+                assert index is not None
+                self.drop_index(index.name)
+            dropped.append(definition)
+            extra_writes += self.params.drop_index_cost
+        for definition in sorted(target - current,
+                                 key=structure_sort_key):
+            if isinstance(definition, ViewDef):
+                self.create_view(definition)
+            else:
+                self.create_index(definition)
+            created.append(definition)
+        delta = self.buffer_manager.snapshot() - before
+        metered = MeteredCost(
+            page_reads=float(delta.logical_reads),
+            page_writes=float(delta.physical_writes) + extra_writes)
+        return TransitionReport(created=created, dropped=dropped,
+                                metered=metered)

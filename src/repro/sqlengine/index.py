@@ -1,0 +1,323 @@
+"""Index definitions, page geometry, and materialized indexes.
+
+An :class:`IndexDef` is the *logical* identity of an index — table name
+plus ordered key columns. It is hashable and is the unit out of which
+physical-design configurations are built (the paper's design structures).
+
+:class:`IndexGeometry` captures the page-level shape of an index (entry
+width, fanout, leaf pages, height) computed purely from row counts and
+column widths. The same formulas serve both materialized indexes and
+hypothetical (what-if) ones, so cost estimates are consistent whether or
+not an index physically exists.
+
+:class:`Index` is a materialized index: an ``IndexDef`` plus a live
+B+-tree over a heap table, maintained on DML.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SchemaError
+from .btree import BPlusTree
+from .buffer import BufferManager
+from .schema import RID_BYTES, TableSchema
+from .storage import HeapTable, PAGE_SIZE_BYTES
+
+#: Per-entry overhead in an index page (slot pointer + alignment).
+INDEX_ENTRY_OVERHEAD = 4
+
+
+def structure_sort_key(definition) -> Tuple[str, str, Tuple[str, ...]]:
+    """Stable ordering across structure kinds (indexes, views).
+
+    Anything with ``table`` and ``columns`` attributes sorts by
+    ``(kind, table, columns)``; indexes come before views because
+    'I' < 'V' via the class names.
+    """
+    return (type(definition).__name__, definition.table,
+            definition.columns)
+
+#: Target fill factor of index pages after a build.
+INDEX_FILL_FACTOR = 0.85
+
+
+@dataclass(frozen=True, order=True)
+class IndexDef:
+    """Logical identity of a (possibly hypothetical) B+-tree index.
+
+    Attributes:
+        table: table the index is defined on.
+        columns: ordered key columns, e.g. ``("a", "b")``.
+    """
+
+    table: str
+    columns: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise SchemaError("an index needs at least one key column")
+        if len(set(self.columns)) != len(self.columns):
+            raise SchemaError(
+                f"duplicate key column in index on {self.columns}")
+
+    @property
+    def label(self) -> str:
+        """The paper's notation, e.g. ``I(a,b)``."""
+        return f"I({','.join(self.columns)})"
+
+    def covers(self, column_names: Sequence[str]) -> bool:
+        """True if every referenced column is part of the index key.
+
+        Such an index can answer the query with an index-only scan
+        (no heap fetches).
+        """
+        return set(column_names) <= set(self.columns)
+
+    def default_name(self) -> str:
+        return f"ix_{self.table}_{'_'.join(self.columns)}"
+
+    def __str__(self) -> str:
+        return self.label
+
+
+@dataclass(frozen=True)
+class IndexGeometry:
+    """Page-level shape of an index over ``nrows`` rows.
+
+    Derived deterministically from the schema, so hypothetical and
+    materialized indexes cost identically.
+    """
+
+    nrows: int
+    entry_width: int
+    entries_per_page: int
+    leaf_pages: int
+    height: int
+    total_pages: int
+
+    @classmethod
+    def compute(cls, schema: TableSchema, columns: Sequence[str],
+                nrows: int) -> "IndexGeometry":
+        entry_width = (schema.width_of(columns) + RID_BYTES +
+                       INDEX_ENTRY_OVERHEAD)
+        usable = PAGE_SIZE_BYTES * INDEX_FILL_FACTOR
+        entries_per_page = max(2, int(usable // entry_width))
+        leaf_pages = max(1, math.ceil(nrows / entries_per_page)) \
+            if nrows else 1
+        # Internal fanout: separators are key-only entries.
+        sep_width = schema.width_of(columns) + RID_BYTES
+        fanout = max(2, int(usable // sep_width))
+        height = 1
+        level_pages = leaf_pages
+        total = leaf_pages
+        while level_pages > 1:
+            level_pages = math.ceil(level_pages / fanout)
+            total += level_pages
+            height += 1
+        return cls(nrows=nrows, entry_width=entry_width,
+                   entries_per_page=entries_per_page,
+                   leaf_pages=leaf_pages, height=height,
+                   total_pages=total)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.total_pages * PAGE_SIZE_BYTES
+
+    def leaf_pages_for(self, n_entries: float) -> int:
+        """Leaf pages touched when reading ``n_entries`` consecutive
+        entries (at least one page if any entries are read)."""
+        if n_entries <= 0:
+            return 0
+        return max(1, math.ceil(n_entries / self.entries_per_page))
+
+
+class Index:
+    """A materialized B+-tree index over a heap table.
+
+    Args:
+        definition: the logical index identity.
+        table: the heap table being indexed.
+        buffer_manager: pool used to meter this index's page I/O.
+        name: catalog name (defaults to a generated one).
+    """
+
+    def __init__(self, definition: IndexDef, table: HeapTable,
+                 buffer_manager: BufferManager,
+                 name: Optional[str] = None):
+        if definition.table != table.schema.name:
+            raise SchemaError(
+                f"index on {definition.table!r} cannot attach to table "
+                f"{table.schema.name!r}")
+        for column in definition.columns:
+            table.schema.column(column)
+        self.definition = definition
+        self.name = name or definition.default_name()
+        self.table = table
+        self.buffer_manager = buffer_manager
+        self.object_id = buffer_manager.allocate_object_id()
+        self.tree = BPlusTree()
+        # Columnar mirror of the leaf level (sorted key columns + rids),
+        # kept for vectorized scans; rebuilt lazily after DML.
+        self._leaf_cols: Dict[str, np.ndarray] = {}
+        self._leaf_rids = np.empty(0, dtype=np.int64)
+        self._mirror_dirty = False
+        self._build()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        """Bulk-build the tree: scan the heap, sort, load bottom-up.
+
+        Charges the classic build cost: one full heap scan plus one
+        sequential write of every index page.
+        """
+        self.table.scan_pages()
+        rids = self.table.live_rids()
+        key_columns = [self.table.column_array(c)
+                       for c in self.definition.columns]
+        if len(rids):
+            key_matrix = [col[rids] for col in key_columns]
+            order = np.lexsort(tuple(reversed(key_matrix)))
+            pairs = []
+            sorted_rids = rids[order]
+            sorted_cols = [col[order] for col in key_matrix]
+            for i in range(len(sorted_rids)):
+                key = tuple(_scalar(col[i]) for col in sorted_cols)
+                pairs.append((key, int(sorted_rids[i])))
+            self.tree.bulk_load(pairs)
+            self._leaf_cols = dict(zip(self.definition.columns,
+                                       sorted_cols))
+            self._leaf_rids = sorted_rids.astype(np.int64)
+        else:
+            self._leaf_cols = {c: np.empty(0, dtype=col.dtype)
+                               for c, col in zip(self.definition.columns,
+                                                 key_columns)}
+            self._leaf_rids = np.empty(0, dtype=np.int64)
+        self._mirror_dirty = False
+        geometry = self.geometry()
+        for page in range(geometry.total_pages):
+            self.buffer_manager.write_page((self.object_id, page))
+
+    # ------------------------------------------------------------------
+    # geometry / metering
+    # ------------------------------------------------------------------
+
+    def geometry(self) -> IndexGeometry:
+        return IndexGeometry.compute(self.table.schema,
+                                     self.definition.columns,
+                                     len(self.tree))
+
+    def charge_descent(self) -> None:
+        """Meter a root-to-leaf descent (one page per level)."""
+        geometry = self.geometry()
+        for level in range(geometry.height):
+            self.buffer_manager.read_page((self.object_id, level))
+
+    def charge_leaf_pages(self, n_entries: int) -> int:
+        """Meter reading ``n_entries`` consecutive leaf entries."""
+        geometry = self.geometry()
+        pages = geometry.leaf_pages_for(n_entries)
+        # Leaf pages are addressed after the descent levels to keep
+        # page ids distinct between the two kinds of touches.
+        base = geometry.height
+        self.buffer_manager.read_pages(
+            self.object_id, range(base, base + pages))
+        return pages
+
+    def charge_full_leaf_scan(self) -> int:
+        geometry = self.geometry()
+        base = geometry.height
+        self.buffer_manager.read_pages(
+            self.object_id, range(base, base + geometry.leaf_pages))
+        return geometry.leaf_pages
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+
+    def key_for_rid(self, rid: int) -> Tuple:
+        return tuple(_scalar(self.table.column_array(c)[rid])
+                     for c in self.definition.columns)
+
+    def seek_equal(self, prefix: Tuple) -> List[Tuple[Tuple, int]]:
+        """All ``(key, rid)`` whose key starts with ``prefix``."""
+        return self.tree.search_prefix(prefix)
+
+    def range(self, lo, hi, lo_inclusive: bool = True,
+              hi_inclusive: bool = True) -> List[Tuple[Tuple, int]]:
+        return self.tree.range_scan(lo, hi, lo_inclusive, hi_inclusive)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    def on_insert(self, rid: int) -> None:
+        self.tree.insert(self.key_for_rid(rid), rid)
+        self._mirror_dirty = True
+        self.buffer_manager.write_page((self.object_id, 0))
+
+    def on_delete(self, rid: int) -> None:
+        self.tree.delete(self.key_for_rid(rid), rid)
+        self._mirror_dirty = True
+        self.buffer_manager.write_page((self.object_id, 0))
+
+    def on_update(self, rid: int, old_key: Tuple) -> None:
+        new_key = self.key_for_rid(rid)
+        if new_key == old_key:
+            return
+        self.tree.delete(old_key, rid)
+        self.tree.insert(new_key, rid)
+        self._mirror_dirty = True
+        self.buffer_manager.write_page((self.object_id, 0))
+
+    # ------------------------------------------------------------------
+    # vectorized leaf access
+    # ------------------------------------------------------------------
+
+    def leaf_arrays(self) -> Tuple[Dict[str, np.ndarray], np.ndarray]:
+        """Columnar view of the sorted leaf level: ``(key columns, rids)``.
+
+        This is an in-memory acceleration structure; page charging is
+        the caller's job (via :meth:`charge_leaf_pages` etc.). Rebuilt
+        lazily from the tree after DML.
+        """
+        if self._mirror_dirty:
+            self._rebuild_mirror()
+        return self._leaf_cols, self._leaf_rids
+
+    def _rebuild_mirror(self) -> None:
+        entries = list(self.tree.items())
+        n_cols = len(self.definition.columns)
+        dtypes = [self.table.schema.column(c).ctype.numpy_dtype
+                  for c in self.definition.columns]
+        cols = {name: np.empty(len(entries), dtype=dtype)
+                for name, dtype in zip(self.definition.columns, dtypes)}
+        rids = np.empty(len(entries), dtype=np.int64)
+        for i, (key, rid) in enumerate(entries):
+            for j in range(n_cols):
+                cols[self.definition.columns[j]][i] = key[j]
+            rids[i] = rid
+        self._leaf_cols = cols
+        self._leaf_rids = rids
+        self._mirror_dirty = False
+
+    def __repr__(self) -> str:
+        return (f"Index({self.definition.label}, name={self.name!r}, "
+                f"entries={len(self.tree)})")
+
+
+def _scalar(value):
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.str_):
+        return str(value)
+    return value

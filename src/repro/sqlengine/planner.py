@@ -1,0 +1,401 @@
+"""Query analysis and access-path planning.
+
+The planner analyzes a ``SELECT`` into a :class:`QueryInfo`, enumerates
+the feasible access paths for a given set of (real or hypothetical)
+indexes, costs each with :mod:`.costmodel`, and picks the cheapest.
+Because the enumeration works purely on :class:`IndexDef` +
+:class:`IndexGeometry`, the *same* code plans real executions and
+what-if estimates — the two can never diverge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import PlanningError, SchemaError, SqlUnsupportedError
+from .costmodel import (Cost, CostParams, cost_full_scan, cost_index_only_scan,
+                        cost_index_seek)
+from .index import IndexDef, IndexGeometry
+from .schema import TableSchema
+from .sql.ast import Between, Comparison, OrderBy, SelectStmt
+from .stats import TableStats, combined_selectivity
+from .types import Value
+
+
+@dataclass(frozen=True)
+class RangeSpec:
+    """A (possibly half-open) interval constraint on one column."""
+
+    lo: Optional[Value] = None
+    hi: Optional[Value] = None
+    lo_inclusive: bool = True
+    hi_inclusive: bool = True
+
+    def intersect(self, other: "RangeSpec") -> "RangeSpec":
+        lo, lo_inc = self.lo, self.lo_inclusive
+        if other.lo is not None and (lo is None or other.lo > lo or
+                                     (other.lo == lo and
+                                      not other.lo_inclusive)):
+            lo, lo_inc = other.lo, other.lo_inclusive
+        hi, hi_inc = self.hi, self.hi_inclusive
+        if other.hi is not None and (hi is None or other.hi < hi or
+                                     (other.hi == hi and
+                                      not other.hi_inclusive)):
+            hi, hi_inc = other.hi, other.hi_inclusive
+        return RangeSpec(lo, hi, lo_inc, hi_inc)
+
+
+@dataclass(frozen=True)
+class QueryInfo:
+    """Planner-facing summary of a SELECT statement.
+
+    Predicates are normalized per column: a column has *either* one
+    equality constant or one (merged) range, never both, and never two
+    conflicting equalities — contradictory conjunctions set
+    ``unsatisfiable`` instead (the query provably returns no rows).
+    """
+
+    table: str
+    select_columns: Tuple[str, ...]       # expanded (no "*")
+    referenced_columns: Tuple[str, ...]   # select + predicate columns
+    eq_predicates: Dict[str, Value]
+    range_predicates: Dict[str, RangeSpec]
+    neq_predicates: Tuple[Comparison, ...]
+    limit: Optional[int]
+    unsatisfiable: bool = False
+    aggregates: Tuple = ()                # Aggregate items, if any
+    order_by: Optional[OrderBy] = None
+    group_by: Optional[str] = None
+
+    @property
+    def predicate_columns(self) -> Tuple[str, ...]:
+        cols = set(self.eq_predicates) | set(self.range_predicates)
+        cols.update(p.column for p in self.neq_predicates)
+        return tuple(sorted(cols))
+
+
+def analyze_select(stmt: SelectStmt, schema: TableSchema) -> QueryInfo:
+    """Validate and summarize a SELECT against a schema."""
+    if stmt.table != schema.name:
+        raise PlanningError(
+            f"statement targets {stmt.table!r}, not {schema.name!r}")
+    if stmt.aggregates:
+        agg_columns = [a.column for a in stmt.aggregates
+                       if a.column is not None]
+        for column in agg_columns:
+            if not schema.has_column(column):
+                raise SchemaError(
+                    f"unknown column {column!r} in aggregate")
+        for aggregate in stmt.aggregates:
+            if aggregate.func in ("SUM", "AVG") and \
+                    not schema.column(aggregate.column).ctype.is_numeric:
+                raise SchemaError(
+                    f"{aggregate.func} needs a numeric column, got "
+                    f"{aggregate.column!r}")
+        if stmt.group_by is not None:
+            if not schema.has_column(stmt.group_by):
+                raise SchemaError(
+                    f"unknown column {stmt.group_by!r} in GROUP BY")
+            agg_columns = [stmt.group_by] + agg_columns
+        select_columns = tuple(dict.fromkeys(agg_columns))
+    elif stmt.group_by is not None:
+        raise SqlUnsupportedError(
+            "GROUP BY requires aggregate functions")
+    elif stmt.columns == ("*",):
+        select_columns = tuple(schema.column_names)
+    else:
+        for column in stmt.columns:
+            if not schema.has_column(column):
+                raise SchemaError(
+                    f"unknown column {column!r} in SELECT list")
+        select_columns = stmt.columns
+    eq: Dict[str, Value] = {}
+    ranges: Dict[str, RangeSpec] = {}
+    neq: List[Comparison] = []
+    unsatisfiable = False
+    if stmt.where is not None:
+        for predicate in stmt.where.predicates:
+            if not schema.has_column(predicate.column):
+                raise SchemaError(
+                    f"unknown column {predicate.column!r} in WHERE")
+            if isinstance(predicate, Between):
+                spec = RangeSpec(lo=predicate.lo, hi=predicate.hi)
+                _merge_range(ranges, predicate.column, spec)
+            elif predicate.op == "=":
+                if predicate.column in eq and \
+                        eq[predicate.column] != predicate.value:
+                    unsatisfiable = True
+                eq[predicate.column] = predicate.value
+            elif predicate.op == "!=":
+                neq.append(predicate)
+            else:
+                spec = _range_from_comparison(predicate)
+                _merge_range(ranges, predicate.column, spec)
+    # Normalize per column: fold equalities into ranges/neqs so that a
+    # column carries exactly one kind of constraint (or none).
+    for column, value in list(eq.items()):
+        if column in ranges:
+            if _range_contains(ranges.pop(column), value):
+                pass  # equality subsumes the range
+            else:
+                unsatisfiable = True
+        for predicate in neq:
+            if predicate.column == column and \
+                    predicate.value == value:
+                unsatisfiable = True
+        neq = [p for p in neq if p.column != column]
+    for column, spec in ranges.items():
+        if _range_empty(spec):
+            unsatisfiable = True
+    order_columns: List[str] = []
+    if stmt.order_by is not None:
+        if stmt.aggregates and stmt.order_by.column != stmt.group_by:
+            raise SqlUnsupportedError(
+                "with aggregates, ORDER BY is only supported on the "
+                "GROUP BY column")
+        if not schema.has_column(stmt.order_by.column):
+            raise SchemaError(
+                f"unknown column {stmt.order_by.column!r} in ORDER BY")
+        order_columns.append(stmt.order_by.column)
+    referenced = tuple(dict.fromkeys(
+        list(select_columns) + list(eq) + list(ranges) +
+        [p.column for p in neq] + order_columns))
+    return QueryInfo(table=stmt.table, select_columns=select_columns,
+                     referenced_columns=referenced, eq_predicates=eq,
+                     range_predicates=ranges, neq_predicates=tuple(neq),
+                     limit=stmt.limit, unsatisfiable=unsatisfiable,
+                     aggregates=stmt.aggregates,
+                     order_by=stmt.order_by, group_by=stmt.group_by)
+
+
+def _range_contains(spec: RangeSpec, value: Value) -> bool:
+    if spec.lo is not None:
+        if value < spec.lo or (value == spec.lo and
+                               not spec.lo_inclusive):
+            return False
+    if spec.hi is not None:
+        if value > spec.hi or (value == spec.hi and
+                               not spec.hi_inclusive):
+            return False
+    return True
+
+
+def _range_empty(spec: RangeSpec) -> bool:
+    if spec.lo is None or spec.hi is None:
+        return False
+    if spec.lo > spec.hi:
+        return True
+    return spec.lo == spec.hi and not (spec.lo_inclusive and
+                                       spec.hi_inclusive)
+
+
+def _range_from_comparison(predicate: Comparison) -> RangeSpec:
+    op, value = predicate.op, predicate.value
+    if op == "<":
+        return RangeSpec(hi=value, hi_inclusive=False)
+    if op == "<=":
+        return RangeSpec(hi=value, hi_inclusive=True)
+    if op == ">":
+        return RangeSpec(lo=value, lo_inclusive=False)
+    return RangeSpec(lo=value, lo_inclusive=True)
+
+
+def _merge_range(ranges: Dict[str, RangeSpec], column: str,
+                 spec: RangeSpec) -> None:
+    if column in ranges:
+        ranges[column] = ranges[column].intersect(spec)
+    else:
+        ranges[column] = spec
+
+
+# ----------------------------------------------------------------------
+# selectivity estimation
+# ----------------------------------------------------------------------
+
+def predicate_selectivity(info: QueryInfo, stats: TableStats,
+                          column: str) -> float:
+    """Combined selectivity of all predicates on one column."""
+    parts: List[float] = []
+    if column in info.eq_predicates:
+        parts.append(stats.column(column).selectivity_eq(
+            info.eq_predicates[column]))
+    if column in info.range_predicates:
+        spec = info.range_predicates[column]
+        parts.append(stats.column(column).selectivity_range(
+            spec.lo, spec.hi, spec.lo_inclusive, spec.hi_inclusive))
+    for predicate in info.neq_predicates:
+        if predicate.column == column:
+            parts.append(1.0 - stats.column(column).selectivity_eq(
+                predicate.value))
+    return combined_selectivity(parts) if parts else 1.0
+
+
+def total_selectivity(info: QueryInfo, stats: TableStats) -> float:
+    if info.unsatisfiable:
+        return 0.0
+    return combined_selectivity(
+        [predicate_selectivity(info, stats, c)
+         for c in info.predicate_columns])
+
+
+# ----------------------------------------------------------------------
+# access paths
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AccessPath:
+    """One costed way of answering a query.
+
+    Attributes:
+        kind: ``full_scan``, ``index_seek``, ``index_only_scan`` or
+            ``view_scan``.
+        index: the index used (None for scans of heap or view).
+        cost: estimated cost breakdown.
+        est_rows: estimated number of rows returned.
+        eq_prefix_len: length of the equality prefix used by a seek.
+        uses_range: whether the seek also applies a range on the key
+            column right after the equality prefix.
+        covering: whether the structure covers all referenced columns.
+        view: the projection view scanned (``view_scan`` only).
+    """
+
+    kind: str
+    index: Optional[IndexDef]
+    cost: Cost
+    est_rows: float
+    eq_prefix_len: int = 0
+    uses_range: bool = False
+    covering: bool = False
+    view: Optional[object] = None
+    provides_order: bool = False
+
+    def describe(self, params: CostParams) -> str:
+        if self.view is not None:
+            target = self.view.label
+        else:
+            target = self.index.label if self.index else "heap"
+        return (f"{self.kind}({target}) "
+                f"cost={self.cost.total(params):.2f} "
+                f"rows~{self.est_rows:.1f}")
+
+
+def enumerate_access_paths(
+        info: QueryInfo, stats: TableStats,
+        indexes: Sequence[Tuple[IndexDef, IndexGeometry]],
+        params: CostParams,
+        views: Sequence[Tuple[object, object]] = ()
+        ) -> List[AccessPath]:
+    """All feasible access paths, sorted cheapest-first.
+
+    ``views`` pairs :class:`~repro.sqlengine.views.ViewDef` with its
+    :class:`~repro.sqlengine.views.ViewGeometry`; a view covering every
+    referenced column offers a ``view_scan`` over its narrower pages.
+    """
+    from .costmodel import cost_sort, cost_view_scan
+    out_rows = stats.nrows * total_selectivity(info, stats)
+    paths: List[AccessPath] = [AccessPath(
+        kind="full_scan", index=None,
+        cost=cost_full_scan(stats, params), est_rows=out_rows)]
+    for definition, geometry in indexes:
+        if definition.table != info.table:
+            continue
+        paths.extend(_paths_for_index(info, stats, definition, geometry,
+                                      out_rows, params))
+    for view_def, view_geometry in views:
+        if view_def.table != info.table:
+            continue
+        if view_def.covers(info.referenced_columns):
+            paths.append(AccessPath(
+                kind="view_scan", index=None,
+                cost=cost_view_scan(stats, view_geometry.n_pages,
+                                    params),
+                est_rows=out_rows, covering=True, view=view_def))
+    if info.order_by is not None:
+        # Mark order-providing paths; charge a result sort to the rest.
+        paths = [_with_order(info, path, params) for path in paths]
+    paths.sort(key=lambda p: p.cost.total(params))
+    return paths
+
+
+def _with_order(info: QueryInfo, path: AccessPath,
+                params: CostParams) -> AccessPath:
+    from dataclasses import replace
+    from .costmodel import cost_sort
+    column = info.order_by.column
+    provided = False
+    if column in info.eq_predicates:
+        provided = True    # constant column: any order qualifies
+    elif path.index is not None and path.kind == "index_seek":
+        key = path.index.columns
+        if path.eq_prefix_len < len(key) and \
+                key[path.eq_prefix_len] == column:
+            provided = True
+    elif path.index is not None and path.kind == "index_only_scan":
+        provided = path.index.columns[0] == column
+    if provided:
+        return replace(path, provides_order=True)
+    return replace(path, cost=path.cost + cost_sort(path.est_rows,
+                                                    params))
+
+
+def choose_access_path(
+        info: QueryInfo, stats: TableStats,
+        indexes: Sequence[Tuple[IndexDef, IndexGeometry]],
+        params: CostParams,
+        views: Sequence[Tuple[object, object]] = ()) -> AccessPath:
+    return enumerate_access_paths(info, stats, indexes, params,
+                                  views)[0]
+
+
+def _paths_for_index(info: QueryInfo, stats: TableStats,
+                     definition: IndexDef, geometry: IndexGeometry,
+                     out_rows: float,
+                     params: CostParams) -> List[AccessPath]:
+    paths: List[AccessPath] = []
+    covering = definition.covers(info.referenced_columns)
+    # --- index seek: equality prefix (+ optional next-column range) ---
+    prefix_len = 0
+    key_selectivities: List[float] = []
+    for column in definition.columns:
+        if column in info.eq_predicates:
+            key_selectivities.append(
+                stats.column(column).selectivity_eq(
+                    info.eq_predicates[column]))
+            prefix_len += 1
+        else:
+            break
+    uses_range = False
+    if prefix_len < len(definition.columns):
+        next_column = definition.columns[prefix_len]
+        if next_column in info.range_predicates:
+            spec = info.range_predicates[next_column]
+            key_selectivities.append(
+                stats.column(next_column).selectivity_range(
+                    spec.lo, spec.hi, spec.lo_inclusive,
+                    spec.hi_inclusive))
+            uses_range = True
+    if prefix_len > 0 or uses_range:
+        key_sel = combined_selectivity(key_selectivities)
+        seek_columns = set(definition.columns[:prefix_len])
+        if uses_range:
+            seek_columns.add(definition.columns[prefix_len])
+        # Predicates on *other key columns* filter entries before any
+        # heap fetch; predicates on non-key columns filter after.
+        in_key_residual = combined_selectivity([
+            predicate_selectivity(info, stats, c)
+            for c in info.predicate_columns
+            if c in definition.columns and c not in seek_columns])
+        paths.append(AccessPath(
+            kind="index_seek", index=definition,
+            cost=cost_index_seek(stats, geometry, key_sel, covering,
+                                 in_key_residual, params),
+            est_rows=out_rows, eq_prefix_len=prefix_len,
+            uses_range=uses_range, covering=covering))
+    # --- index-only scan over a covering index ---
+    if covering:
+        paths.append(AccessPath(
+            kind="index_only_scan", index=definition,
+            cost=cost_index_only_scan(stats, geometry, params),
+            est_rows=out_rows, covering=True))
+    return paths

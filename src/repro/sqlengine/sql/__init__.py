@@ -1,0 +1,14 @@
+"""SQL front end: lexer, parser, and AST for the supported subset."""
+
+from .ast import (Between, Comparison, Conjunction, CreateIndexStmt,
+                  CreateTableStmt, DeleteStmt, DropIndexStmt, DropTableStmt,
+                  InsertStmt, SelectStmt, Statement, UpdateStmt)
+from .lexer import Token, tokenize
+from .parser import parse
+
+__all__ = [
+    "Between", "Comparison", "Conjunction", "CreateIndexStmt",
+    "CreateTableStmt", "DeleteStmt", "DropIndexStmt", "DropTableStmt",
+    "InsertStmt", "SelectStmt", "Statement", "UpdateStmt",
+    "Token", "tokenize", "parse",
+]

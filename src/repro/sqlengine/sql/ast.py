@@ -1,0 +1,240 @@
+"""Abstract syntax tree for the supported SQL subset.
+
+The subset covers what the paper's experiments (and realistic
+variations of them) need: DDL for tables and indexes, bulk-insert, and
+single-table SELECT/UPDATE/DELETE with conjunctive comparison
+predicates — plus aggregates (COUNT/MIN/MAX/SUM/AVG), single-column
+GROUP BY, ORDER BY, and LIMIT for the example workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from ..types import Value
+
+CompareOp = str  # one of: = != < <= > >=
+
+_OP_SPELLINGS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``column <op> literal``."""
+
+    column: str
+    op: CompareOp
+    value: Value
+
+    def __post_init__(self) -> None:
+        if self.op not in _OP_SPELLINGS:
+            raise ValueError(f"bad comparison operator {self.op!r}")
+
+    def sql(self) -> str:
+        return f"{self.column} {self.op} {_render_literal(self.value)}"
+
+
+@dataclass(frozen=True)
+class Between:
+    """``column BETWEEN lo AND hi`` (inclusive both ends)."""
+
+    column: str
+    lo: Value
+    hi: Value
+
+    def sql(self) -> str:
+        return (f"{self.column} BETWEEN {_render_literal(self.lo)} "
+                f"AND {_render_literal(self.hi)}")
+
+
+Predicate = Union[Comparison, Between]
+
+
+@dataclass(frozen=True)
+class Conjunction:
+    """AND of simple predicates (the only boolean structure supported)."""
+
+    predicates: Tuple[Predicate, ...]
+
+    def sql(self) -> str:
+        return " AND ".join(p.sql() for p in self.predicates)
+
+    @property
+    def columns(self) -> List[str]:
+        return [p.column for p in self.predicates]
+
+
+AGGREGATE_FUNCS = ("COUNT", "MIN", "MAX", "SUM", "AVG")
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """``FUNC(column)`` or ``COUNT(*)`` (column is None)."""
+
+    func: str
+    column: Optional[str]
+
+    def __post_init__(self) -> None:
+        if self.func not in AGGREGATE_FUNCS:
+            raise ValueError(f"bad aggregate function {self.func!r}")
+        if self.column is None and self.func != "COUNT":
+            raise ValueError(f"{self.func}(*) is not valid SQL")
+
+    def sql(self) -> str:
+        return f"{self.func}({self.column or '*'})"
+
+
+@dataclass(frozen=True)
+class OrderBy:
+    """``ORDER BY column [ASC|DESC]`` (single column)."""
+
+    column: str
+    descending: bool = False
+
+    def sql(self) -> str:
+        return (f"ORDER BY {self.column}"
+                f"{' DESC' if self.descending else ''}")
+
+
+@dataclass(frozen=True)
+class SelectStmt:
+    """``SELECT cols|aggs FROM table [WHERE conj] [GROUP BY col]
+    [ORDER BY col] [LIMIT n]``.
+
+    Either ``columns`` (``("*",)`` means all) or ``aggregates`` is
+    populated, never both; with GROUP BY the output rows are
+    ``(group_value, *aggregates)``.
+    """
+
+    table: str
+    columns: Tuple[str, ...] = ()
+    where: Optional[Conjunction] = None
+    limit: Optional[int] = None
+    aggregates: Tuple[Aggregate, ...] = ()
+    order_by: Optional[OrderBy] = None
+    group_by: Optional[str] = None
+
+    def sql(self) -> str:
+        if self.aggregates:
+            items = []
+            if self.group_by is not None:
+                items.append(self.group_by)
+            items.extend(a.sql() for a in self.aggregates)
+            select_list = ", ".join(items)
+        else:
+            select_list = ", ".join(self.columns)
+        parts = [f"SELECT {select_list} FROM {self.table}"]
+        if self.where is not None:
+            parts.append(f"WHERE {self.where.sql()}")
+        if self.group_by is not None:
+            parts.append(f"GROUP BY {self.group_by}")
+        if self.order_by is not None:
+            parts.append(self.order_by.sql())
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class InsertStmt:
+    """``INSERT INTO table (cols) VALUES (...), (...)``."""
+
+    table: str
+    columns: Tuple[str, ...]
+    rows: Tuple[Tuple[Value, ...], ...]
+
+    def sql(self) -> str:
+        values = ", ".join(
+            "(" + ", ".join(_render_literal(v) for v in row) + ")"
+            for row in self.rows)
+        return (f"INSERT INTO {self.table} "
+                f"({', '.join(self.columns)}) VALUES {values}")
+
+
+@dataclass(frozen=True)
+class UpdateStmt:
+    """``UPDATE table SET col = lit, ... [WHERE conj]``."""
+
+    table: str
+    assignments: Tuple[Tuple[str, Value], ...]
+    where: Optional[Conjunction] = None
+
+    def sql(self) -> str:
+        sets = ", ".join(f"{c} = {_render_literal(v)}"
+                         for c, v in self.assignments)
+        out = f"UPDATE {self.table} SET {sets}"
+        if self.where is not None:
+            out += f" WHERE {self.where.sql()}"
+        return out
+
+
+@dataclass(frozen=True)
+class DeleteStmt:
+    """``DELETE FROM table [WHERE conj]``."""
+
+    table: str
+    where: Optional[Conjunction] = None
+
+    def sql(self) -> str:
+        out = f"DELETE FROM {self.table}"
+        if self.where is not None:
+            out += f" WHERE {self.where.sql()}"
+        return out
+
+
+@dataclass(frozen=True)
+class CreateTableStmt:
+    """``CREATE TABLE name (col TYPE, ...)``."""
+
+    table: str
+    columns: Tuple[Tuple[str, str], ...]  # (name, type spelling)
+
+    def sql(self) -> str:
+        cols = ", ".join(f"{n} {t}" for n, t in self.columns)
+        return f"CREATE TABLE {self.table} ({cols})"
+
+
+@dataclass(frozen=True)
+class CreateIndexStmt:
+    """``CREATE INDEX name ON table (cols)``."""
+
+    name: str
+    table: str
+    columns: Tuple[str, ...]
+
+    def sql(self) -> str:
+        return (f"CREATE INDEX {self.name} ON {self.table} "
+                f"({', '.join(self.columns)})")
+
+
+@dataclass(frozen=True)
+class DropIndexStmt:
+    """``DROP INDEX name``."""
+
+    name: str
+
+    def sql(self) -> str:
+        return f"DROP INDEX {self.name}"
+
+
+@dataclass(frozen=True)
+class DropTableStmt:
+    """``DROP TABLE name``."""
+
+    table: str
+
+    def sql(self) -> str:
+        return f"DROP TABLE {self.table}"
+
+
+Statement = Union[SelectStmt, InsertStmt, UpdateStmt, DeleteStmt,
+                  CreateTableStmt, CreateIndexStmt, DropIndexStmt,
+                  DropTableStmt]
+
+
+def _render_literal(value: Value) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return repr(value)

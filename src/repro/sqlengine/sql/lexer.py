@@ -1,0 +1,107 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ...errors import SqlSyntaxError
+
+KEYWORDS = frozenset({
+    "SELECT", "FROM", "WHERE", "AND", "BETWEEN", "LIMIT",
+    "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE",
+    "CREATE", "DROP", "TABLE", "INDEX", "ON",
+    "ORDER", "BY", "ASC", "DESC", "GROUP",
+})
+
+SYMBOLS = ("<=", ">=", "!=", "<>", "=", "<", ">", "(", ")", ",", "*", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token.
+
+    Attributes:
+        kind: one of KEYWORD, IDENT, NUMBER, STRING, SYMBOL, EOF.
+        text: the token's canonical text (keywords upper-cased,
+            ``<>`` normalized to ``!=``).
+        position: character offset in the source.
+    """
+
+    kind: str
+    text: str
+    position: int
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Tokenize ``sql``; raises :class:`SqlSyntaxError` on bad input."""
+    return list(_tokens(sql))
+
+
+def _tokens(sql: str) -> Iterator[Token]:
+    i, n = 0, len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and sql.startswith("--", i):
+            newline = sql.find("\n", i)
+            i = n if newline < 0 else newline + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                yield Token("KEYWORD", upper, start)
+            else:
+                yield Token("IDENT", word, start)
+            continue
+        if ch.isdigit() or (ch in "+-" and i + 1 < n and
+                            sql[i + 1].isdigit()):
+            start = i
+            if ch in "+-":
+                i += 1
+            while i < n and (sql[i].isdigit() or sql[i] == "."):
+                i += 1
+            if i < n and sql[i] in "eE":
+                i += 1
+                if i < n and sql[i] in "+-":
+                    i += 1
+                while i < n and sql[i].isdigit():
+                    i += 1
+            yield Token("NUMBER", sql[start:i], start)
+            continue
+        if ch == "'":
+            start = i
+            i += 1
+            chunks: List[str] = []
+            while True:
+                if i >= n:
+                    raise SqlSyntaxError("unterminated string literal",
+                                         start)
+                if sql[i] == "'":
+                    if i + 1 < n and sql[i + 1] == "'":
+                        chunks.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                chunks.append(sql[i])
+                i += 1
+            yield Token("STRING", "".join(chunks), start)
+            continue
+        matched = False
+        for symbol in SYMBOLS:
+            if sql.startswith(symbol, i):
+                canonical = "!=" if symbol == "<>" else symbol
+                yield Token("SYMBOL", canonical, i)
+                i += len(symbol)
+                matched = True
+                break
+        if not matched:
+            raise SqlSyntaxError(f"unexpected character {ch!r}", i)
+    yield Token("EOF", "", n)

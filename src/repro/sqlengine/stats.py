@@ -1,0 +1,216 @@
+"""Table and column statistics with equi-depth histograms.
+
+The what-if optimizer and the planner share these statistics to
+estimate predicate selectivities. Numeric columns get an equi-depth
+histogram plus an exact distinct count; string columns get distinct
+counts only (equality selectivity is what the workloads need).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import EngineError
+from .storage import HeapTable
+
+#: Number of equi-depth buckets kept per numeric column.
+DEFAULT_BUCKETS = 64
+
+
+@dataclass(frozen=True)
+class EquiDepthHistogram:
+    """An equi-depth histogram over a numeric column.
+
+    ``boundaries`` has ``n_buckets + 1`` entries; bucket ``i`` spans
+    ``[boundaries[i], boundaries[i+1])`` (last bucket inclusive) and
+    holds roughly ``total / n_buckets`` rows.
+    """
+
+    boundaries: Tuple[float, ...]
+    total: int
+
+    @classmethod
+    def from_array(cls, values: np.ndarray,
+                   n_buckets: int = DEFAULT_BUCKETS
+                   ) -> "EquiDepthHistogram":
+        if len(values) == 0:
+            return cls(boundaries=(0.0, 0.0), total=0)
+        buckets = max(1, min(n_buckets, len(values)))
+        quantiles = np.linspace(0.0, 1.0, buckets + 1)
+        boundaries = np.quantile(values.astype(np.float64), quantiles)
+        return cls(boundaries=tuple(float(b) for b in boundaries),
+                   total=int(len(values)))
+
+    @property
+    def n_buckets(self) -> int:
+        return len(self.boundaries) - 1
+
+    def fraction_below(self, value: float, inclusive: bool) -> float:
+        """Estimated fraction of rows with ``col < value`` (or ``<=``).
+
+        Linear interpolation within the containing bucket (the classic
+        equi-depth estimator). The mass *at* the boundary value is not
+        tracked per-value, so inclusive bounds only matter at the domain
+        maximum; equality mass elsewhere is handled by the planner via
+        ``selectivity_eq``.
+        """
+        if self.total == 0:
+            return 0.0
+        bounds = self.boundaries
+        if value < bounds[0]:
+            return 0.0
+        if value > bounds[-1]:
+            return 1.0
+        if value == bounds[-1] and inclusive:
+            return 1.0
+        return self._fraction_strictly_below(value)
+
+    def _fraction_strictly_below(self, value: float) -> float:
+        bounds = self.boundaries
+        # side="left" so that zero-width buckets equal to ``value``
+        # (heavy duplicates in the data) do not count as mass below it.
+        idx = int(np.searchsorted(bounds, value, side="left")) - 1
+        if idx < 0:
+            return 0.0
+        idx = min(idx, self.n_buckets - 1)
+        lo, hi = bounds[idx], bounds[idx + 1]
+        if hi == lo:
+            within = 1.0 if value > hi else 0.0
+        else:
+            within = min(1.0, (value - lo) / (hi - lo))
+        return (idx + within) / self.n_buckets
+
+    def selectivity_range(self, lo: Optional[float], hi: Optional[float],
+                          lo_inclusive: bool = True,
+                          hi_inclusive: bool = True) -> float:
+        """Estimated fraction of rows in the interval."""
+        below_hi = 1.0 if hi is None else self.fraction_below(
+            hi, inclusive=hi_inclusive)
+        below_lo = 0.0 if lo is None else self.fraction_below(
+            lo, inclusive=not lo_inclusive)
+        return max(0.0, min(1.0, below_hi - below_lo))
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Statistics for one column."""
+
+    name: str
+    n_values: int
+    n_distinct: int
+    min_value: Optional[float]
+    max_value: Optional[float]
+    histogram: Optional[EquiDepthHistogram]
+
+    @classmethod
+    def from_array(cls, name: str, values: np.ndarray,
+                   n_buckets: int = DEFAULT_BUCKETS) -> "ColumnStats":
+        n = int(len(values))
+        if n == 0:
+            return cls(name, 0, 0, None, None, None)
+        if values.dtype.kind in "if":
+            distinct = int(len(np.unique(values)))
+            histogram = EquiDepthHistogram.from_array(values, n_buckets)
+            return cls(name, n, distinct,
+                       float(values.min()), float(values.max()), histogram)
+        distinct = int(len(np.unique(values)))
+        return cls(name, n, distinct, None, None, None)
+
+    def selectivity_eq(self, value) -> float:
+        """Selectivity of ``col = value``: uniform over distinct values,
+        clipped to zero outside the observed domain for numerics."""
+        if self.n_values == 0 or self.n_distinct == 0:
+            return 0.0
+        if (self.min_value is not None and
+                isinstance(value, (int, float))):
+            if value < self.min_value or value > self.max_value:
+                return 0.0
+        return 1.0 / self.n_distinct
+
+    def selectivity_range(self, lo, hi, lo_inclusive: bool = True,
+                          hi_inclusive: bool = True) -> float:
+        if self.n_values == 0:
+            return 0.0
+        if self.histogram is None:
+            # No histogram (string column): fall back to a fixed guess,
+            # the standard approach for unanalyzable predicates.
+            return 0.05
+        lo_f = None if lo is None else float(lo)
+        hi_f = None if hi is None else float(hi)
+        return self.histogram.selectivity_range(
+            lo_f, hi_f, lo_inclusive, hi_inclusive)
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Statistics for one table."""
+
+    table: str
+    nrows: int
+    n_pages: int
+    row_width: int
+    columns: Dict[str, ColumnStats]
+
+    @classmethod
+    def from_table(cls, table: HeapTable,
+                   n_buckets: int = DEFAULT_BUCKETS) -> "TableStats":
+        rids = table.live_rids()
+        columns = {}
+        for column in table.schema.columns:
+            values = table.column_array(column.name)[rids]
+            columns[column.name] = ColumnStats.from_array(
+                column.name, values, n_buckets)
+        return cls(table=table.schema.name, nrows=int(len(rids)),
+                   n_pages=table.n_pages,
+                   row_width=table.schema.row_width, columns=columns)
+
+    def column(self, name: str) -> ColumnStats:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise EngineError(
+                f"no statistics for column {name!r} of {self.table!r}"
+            ) from None
+
+
+def combined_selectivity(selectivities: Sequence[float]) -> float:
+    """Independence-assumption AND combination, clipped to [0, 1]."""
+    out = 1.0
+    for s in selectivities:
+        out *= max(0.0, min(1.0, s))
+    return out
+
+
+def estimate_distinct_in_sample(sample_distinct: int, sample_size: int,
+                                population: int) -> int:
+    """Scale a sample's distinct count up to the population.
+
+    Method-of-moments under a uniform value distribution: a domain of
+    ``D`` values yields ``E[d] = D * (1 - (1 - 1/D)^n)`` distinct values
+    in a sample of ``n`` with replacement; we invert that by bisection.
+    A fully distinct sample therefore extrapolates toward the
+    population size, a highly repetitive one stays near ``d``.
+    """
+    if sample_size <= 0 or sample_distinct <= 0:
+        return 0
+    if population <= sample_size:
+        return min(sample_distinct, population)
+    if sample_distinct >= sample_size:
+        return population
+
+    def expected_distinct(domain: float) -> float:
+        return domain * (1.0 - (1.0 - 1.0 / domain) ** sample_size)
+
+    lo, hi = float(sample_distinct), float(population)
+    if expected_distinct(hi) <= sample_distinct:
+        return population
+    for _ in range(64):
+        mid = (lo + hi) / 2.0
+        if expected_distinct(mid) < sample_distinct:
+            lo = mid
+        else:
+            hi = mid
+    return int(min(population, max(sample_distinct, round(hi))))

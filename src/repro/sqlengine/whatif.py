@@ -1,0 +1,215 @@
+"""What-if optimization: costing statements under hypothetical designs.
+
+This is the engine's equivalent of SQL Server's hypothetical indexes /
+PostgreSQL's HypoPG: an index that exists only as statistics-derived
+geometry. Because the planner works purely on ``(IndexDef,
+IndexGeometry)`` pairs, hypothetical and materialized indexes cost
+identically — the what-if estimate for a configuration equals what the
+planner would charge if the configuration were deployed.
+
+The :class:`WhatIfOptimizer` provides the three quantities the paper's
+problem definition needs:
+
+* ``EXEC(S, C)`` — :meth:`estimate_statement`,
+* ``TRANS(C1, C2)`` — :meth:`transition_cost`,
+* ``SIZE(C)`` — :meth:`configuration_size_bytes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from ..errors import CatalogError, SqlUnsupportedError
+from .costmodel import (Cost, CostParams, ZERO_COST, cost_build_index,
+                        cost_build_view, cost_drop_index, cost_insert)
+from .index import IndexDef, IndexGeometry, structure_sort_key
+from .views import ViewDef, ViewGeometry
+from .planner import (AccessPath, QueryInfo, analyze_select,
+                      choose_access_path, total_selectivity)
+from .schema import TableSchema
+from .sql.ast import (DeleteStmt, InsertStmt, SelectStmt, Statement,
+                      UpdateStmt)
+from .stats import TableStats
+
+
+@dataclass(frozen=True)
+class PlanEstimate:
+    """Outcome of a what-if costing call."""
+
+    cost: Cost
+    access_path: Optional[AccessPath]
+    units: float
+
+    def __float__(self) -> float:
+        return self.units
+
+
+class WhatIfOptimizer:
+    """Costs statements under arbitrary (hypothetical) configurations.
+
+    Args:
+        schemas: table name -> schema.
+        stats: table name -> current statistics.
+        params: cost-model weights.
+    """
+
+    def __init__(self, schemas: Mapping[str, TableSchema],
+                 stats: Mapping[str, TableStats],
+                 params: Optional[CostParams] = None):
+        self._schemas = dict(schemas)
+        self._stats = dict(stats)
+        self.params = params or CostParams()
+        self._geometry_cache: Dict[Tuple[IndexDef, int], IndexGeometry] = {}
+        self._analyze_cache: Dict[SelectStmt, QueryInfo] = {}
+
+    # ------------------------------------------------------------------
+    # EXEC
+    # ------------------------------------------------------------------
+
+    def estimate_statement(self, stmt: Statement,
+                           config: Iterable[IndexDef]) -> PlanEstimate:
+        """Estimate the execution cost of ``stmt`` under ``config``."""
+        config = frozenset(config)
+        if isinstance(stmt, SelectStmt):
+            return self._estimate_select(stmt, config)
+        if isinstance(stmt, InsertStmt):
+            return self._estimate_insert(stmt, config)
+        if isinstance(stmt, (UpdateStmt, DeleteStmt)):
+            return self._estimate_write_with_where(stmt, config)
+        raise SqlUnsupportedError(
+            f"what-if costing does not support {type(stmt).__name__}")
+
+    def _estimate_select(self, stmt: SelectStmt,
+                         config: FrozenSet[IndexDef]) -> PlanEstimate:
+        info = self._analyze(stmt)
+        stats = self._stats_for(stmt.table)
+        indexes, views = self._geometries(stmt.table, config)
+        path = choose_access_path(info, stats, indexes, self.params,
+                                  views=views)
+        return PlanEstimate(cost=path.cost, access_path=path,
+                            units=path.cost.total(self.params))
+
+    def _estimate_insert(self, stmt: InsertStmt,
+                         config: FrozenSet[IndexDef]) -> PlanEstimate:
+        stats = self._stats_for(stmt.table)
+        n_indexes = sum(1 for d in config if d.table == stmt.table)
+        one = cost_insert(stats, n_indexes, self.params)
+        cost = Cost(one.page_reads * len(stmt.rows),
+                    one.page_writes * len(stmt.rows),
+                    one.cpu_units * len(stmt.rows))
+        return PlanEstimate(cost=cost, access_path=None,
+                            units=cost.total(self.params))
+
+    def _estimate_write_with_where(self, stmt, config) -> PlanEstimate:
+        """UPDATE/DELETE: locate rows like a SELECT *, then write."""
+        schema = self._schema_for(stmt.table)
+        probe = SelectStmt(table=stmt.table,
+                           columns=tuple(schema.column_names),
+                           where=stmt.where)
+        info = self._analyze(probe)
+        stats = self._stats_for(stmt.table)
+        indexes, views = self._geometries(stmt.table, config)
+        path = choose_access_path(info, stats, indexes, self.params,
+                                  views=views)
+        affected = stats.nrows * total_selectivity(info, stats)
+        n_indexes = sum(1 for d in config if d.table == stmt.table)
+        write = Cost(page_writes=affected * (1.0 + n_indexes),
+                     cpu_units=affected * self.params.cpu_tuple_cost *
+                     (1 + n_indexes))
+        cost = path.cost + write
+        return PlanEstimate(cost=cost, access_path=path,
+                            units=cost.total(self.params))
+
+    # ------------------------------------------------------------------
+    # TRANS and SIZE
+    # ------------------------------------------------------------------
+
+    def transition_cost(self, old_config: Iterable[IndexDef],
+                        new_config: Iterable[IndexDef]) -> Cost:
+        """Cost of changing the physical design: build what's new,
+        drop what's gone."""
+        old, new = frozenset(old_config), frozenset(new_config)
+        cost = ZERO_COST
+        for definition in sorted(new - old, key=structure_sort_key):
+            stats = self._stats_for(definition.table)
+            geometry = self._geometry(definition)
+            if isinstance(definition, ViewDef):
+                cost = cost + cost_build_view(
+                    stats, geometry.n_pages, self.params)
+            else:
+                cost = cost + cost_build_index(stats, geometry,
+                                               self.params)
+        for _definition in sorted(old - new, key=structure_sort_key):
+            cost = cost + cost_drop_index(self.params)
+        return cost
+
+    def transition_units(self, old_config: Iterable[IndexDef],
+                         new_config: Iterable[IndexDef]) -> float:
+        return self.transition_cost(old_config, new_config).total(
+            self.params)
+
+    def index_size_bytes(self, definition: IndexDef) -> int:
+        return self._geometry(definition).size_bytes
+
+    def configuration_size_bytes(self,
+                                 config: Iterable[IndexDef]) -> int:
+        return sum(self.index_size_bytes(d) for d in frozenset(config))
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    def refresh_stats(self, stats: Mapping[str, TableStats]) -> None:
+        """Swap in new statistics (invalidates geometry caches)."""
+        self._stats = dict(stats)
+        self._geometry_cache.clear()
+
+    def _schema_for(self, table: str) -> TableSchema:
+        try:
+            return self._schemas[table]
+        except KeyError:
+            raise CatalogError(f"unknown table {table!r}") from None
+
+    def _stats_for(self, table: str) -> TableStats:
+        try:
+            return self._stats[table]
+        except KeyError:
+            raise CatalogError(
+                f"no statistics for table {table!r}") from None
+
+    def _analyze(self, stmt: SelectStmt) -> QueryInfo:
+        info = self._analyze_cache.get(stmt)
+        if info is None:
+            info = analyze_select(stmt, self._schema_for(stmt.table))
+            self._analyze_cache[stmt] = info
+        return info
+
+    def _geometry(self, definition):
+        stats = self._stats_for(definition.table)
+        key = (definition, stats.nrows)
+        geometry = self._geometry_cache.get(key)
+        if geometry is None:
+            schema = self._schema_for(definition.table)
+            if isinstance(definition, ViewDef):
+                geometry = ViewGeometry.compute(
+                    schema, definition.columns, stats.nrows)
+            else:
+                geometry = IndexGeometry.compute(
+                    schema, definition.columns, stats.nrows)
+            self._geometry_cache[key] = geometry
+        return geometry
+
+    def _geometries(self, table: str, config: FrozenSet[IndexDef]):
+        """Split a configuration into (index pairs, view pairs)."""
+        indexes: List[Tuple[IndexDef, IndexGeometry]] = []
+        views: List[Tuple[ViewDef, ViewGeometry]] = []
+        for definition in sorted(config, key=structure_sort_key):
+            if definition.table != table:
+                continue
+            if isinstance(definition, ViewDef):
+                views.append((definition, self._geometry(definition)))
+            else:
+                indexes.append((definition,
+                                self._geometry(definition)))
+        return indexes, views

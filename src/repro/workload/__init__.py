@@ -1,0 +1,36 @@
+"""Workload machinery: statements, generators, the paper's mixes and
+workloads, segmentation, and trace files."""
+
+from .generator import (Phase, PointQueryGenerator, QueryMix,
+                        generate_phased_workload,
+                        workload_from_block_mixes)
+from .mixes import (MIX_A, MIX_B, MIX_C, MIX_D, PAPER_BLOCK_SIZE,
+                    PAPER_COLUMNS, PAPER_MIXES, PAPER_VALUE_RANGE,
+                    PAPER_WORKLOAD_BLOCKS, W1_MAJOR_SHIFT_BLOCKS,
+                    block_labels, make_paper_workload, paper_generator)
+from .analysis import (BlockProfile, ShiftReport, block_profiles,
+                       detect_shifts, suggest_k)
+from .model import Statement, Workload
+from .perturb import (drop_and_duplicate, jitter_blocks,
+                      resample_values, resize_blocks,
+                      standard_variations)
+from .segmentation import (Segment, segment_by_count, segment_by_tag,
+                           segment_per_statement)
+from .trace import load_trace, save_trace
+
+__all__ = [
+    "Phase", "PointQueryGenerator", "QueryMix",
+    "generate_phased_workload", "workload_from_block_mixes",
+    "MIX_A", "MIX_B", "MIX_C", "MIX_D", "PAPER_BLOCK_SIZE",
+    "PAPER_COLUMNS", "PAPER_MIXES", "PAPER_VALUE_RANGE",
+    "PAPER_WORKLOAD_BLOCKS", "W1_MAJOR_SHIFT_BLOCKS", "block_labels",
+    "make_paper_workload", "paper_generator",
+    "BlockProfile", "ShiftReport", "block_profiles", "detect_shifts",
+    "suggest_k",
+    "Statement", "Workload",
+    "drop_and_duplicate", "jitter_blocks", "resample_values",
+    "resize_blocks", "standard_variations",
+    "Segment", "segment_by_count", "segment_by_tag",
+    "segment_per_statement",
+    "load_trace", "save_trace",
+]

@@ -1,0 +1,114 @@
+"""The paper's query mixes (Table 1) and workloads W1/W2/W3 (Table 2).
+
+Table 1 defines four mixes over columns a, b, c, d:
+
+=========  ====  ====  ====  ====
+Mix          a     b     c     d
+=========  ====  ====  ====  ====
+A          55%   25%   10%   10%
+B          25%   55%   10%   10%
+C          10%   10%   55%   25%
+D          10%   10%   25%   55%
+=========  ====  ====  ====  ====
+
+Table 2 lays out three 15000-query workloads in 500-query blocks with
+three phases (two *major shifts* at queries 5000 and 10000) and *minor
+shifts* inside each phase:
+
+* **W1** alternates its phase mixes every 1000 queries (AABB…, CCDD…).
+* **W2** alternates every 500 queries (ABAB…, CDCD…) — faster minors.
+* **W3** alternates every 1000 queries but out of phase with W1
+  (BBAA…, DDCC…).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..errors import WorkloadError
+from .generator import PointQueryGenerator, QueryMix, \
+    workload_from_block_mixes
+from .model import Workload
+
+#: The experimental table's columns.
+PAPER_COLUMNS: Tuple[str, ...] = ("a", "b", "c", "d")
+
+#: Domain of every column: uniform integers in [0, 500000).
+PAPER_VALUE_RANGE: Tuple[int, int] = (0, 500000)
+
+#: Default block size used throughout Table 2.
+PAPER_BLOCK_SIZE = 500
+
+MIX_A = QueryMix("A", {"a": 0.55, "b": 0.25, "c": 0.10, "d": 0.10})
+MIX_B = QueryMix("B", {"a": 0.25, "b": 0.55, "c": 0.10, "d": 0.10})
+MIX_C = QueryMix("C", {"a": 0.10, "b": 0.10, "c": 0.55, "d": 0.25})
+MIX_D = QueryMix("D", {"a": 0.10, "b": 0.10, "c": 0.25, "d": 0.55})
+
+PAPER_MIXES: Dict[str, QueryMix] = {
+    "A": MIX_A, "B": MIX_B, "C": MIX_C, "D": MIX_D,
+}
+
+#: Per-block mix labels, straight out of Table 2 (30 blocks x 500
+#: queries). Index i is the mix for queries [500*i+1 .. 500*(i+1)].
+W1_BLOCK_MIXES: Tuple[str, ...] = (
+    "A", "A", "B", "B", "A", "A", "B", "B", "A", "A",
+    "C", "C", "D", "D", "C", "C", "D", "D", "C", "C",
+    "A", "A", "B", "B", "A", "A", "B", "B", "A", "A",
+)
+
+W2_BLOCK_MIXES: Tuple[str, ...] = (
+    "A", "B", "A", "B", "A", "B", "A", "B", "A", "B",
+    "C", "D", "C", "D", "C", "D", "C", "D", "C", "D",
+    "A", "B", "A", "B", "A", "B", "A", "B", "A", "B",
+)
+
+W3_BLOCK_MIXES: Tuple[str, ...] = (
+    "B", "B", "A", "A", "B", "B", "A", "A", "B", "B",
+    "D", "D", "C", "C", "D", "D", "C", "C", "D", "D",
+    "B", "B", "A", "A", "B", "B", "A", "A", "B", "B",
+)
+
+PAPER_WORKLOAD_BLOCKS: Dict[str, Tuple[str, ...]] = {
+    "W1": W1_BLOCK_MIXES,
+    "W2": W2_BLOCK_MIXES,
+    "W3": W3_BLOCK_MIXES,
+}
+
+#: Indices (into the block sequence) where W1's *major* shifts happen;
+#: the paper sets the change budget k equal to their count.
+W1_MAJOR_SHIFT_BLOCKS: Tuple[int, ...] = (10, 20)
+
+
+def paper_generator(table: str = "t", seed: int = 0
+                    ) -> PointQueryGenerator:
+    """The paper's query generator: point queries on a,b,c,d with
+    uniform values in [0, 500000)."""
+    return PointQueryGenerator(
+        table, {c: PAPER_VALUE_RANGE for c in PAPER_COLUMNS}, seed=seed)
+
+
+def make_paper_workload(name: str,
+                        generator: Optional[PointQueryGenerator] = None,
+                        block_size: int = PAPER_BLOCK_SIZE,
+                        seed: int = 0) -> Workload:
+    """Materialize W1, W2 or W3 at a given block size.
+
+    ``block_size`` scales the workload (the paper uses 500); the block
+    *structure* — which mix governs which block — is fixed by Table 2.
+    """
+    if name not in PAPER_WORKLOAD_BLOCKS:
+        raise WorkloadError(
+            f"unknown paper workload {name!r}; expected W1, W2 or W3")
+    if generator is None:
+        generator = paper_generator(seed=seed)
+    mixes = [PAPER_MIXES[label] for label in PAPER_WORKLOAD_BLOCKS[name]]
+    return workload_from_block_mixes(generator, mixes, block_size,
+                                     name=name)
+
+
+def block_labels(name: str) -> Tuple[str, ...]:
+    """The per-block mix labels of a paper workload."""
+    try:
+        return PAPER_WORKLOAD_BLOCKS[name]
+    except KeyError:
+        raise WorkloadError(f"unknown paper workload {name!r}") from None

@@ -1,0 +1,89 @@
+"""Workload segmentation.
+
+The design algorithms operate over a sequence of *segments* — the units
+between which the physical design may change. A segment can be a single
+statement (the paper's problem definition), a fixed-size block (the
+presentation granularity of the paper's Table 2), or a run of
+identically tagged statements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from ..errors import WorkloadError
+from .model import Statement, Workload
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A contiguous slice of a workload.
+
+    Attributes:
+        statements: the statements in the segment, in order.
+        start: index of the first statement in the original workload.
+        tag: dominant tag of the segment (None if untagged/mixed).
+    """
+
+    statements: Tuple[Statement, ...]
+    start: int
+    tag: Optional[str] = None
+
+    @property
+    def end(self) -> int:
+        """One past the index of the last statement."""
+        return self.start + len(self.statements)
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+    def __iter__(self) -> Iterator[Statement]:
+        return iter(self.statements)
+
+    def __repr__(self) -> str:
+        tag = f", tag={self.tag!r}" if self.tag else ""
+        return f"Segment([{self.start}:{self.end}]{tag})"
+
+
+def segment_by_count(workload: Workload, block_size: int) -> List[Segment]:
+    """Split into fixed-size blocks (last block may be short)."""
+    if block_size <= 0:
+        raise WorkloadError("block_size must be positive")
+    segments: List[Segment] = []
+    for start in range(0, len(workload), block_size):
+        statements = tuple(workload.statements[start:start + block_size])
+        segments.append(Segment(statements=statements, start=start,
+                                tag=_dominant_tag(statements)))
+    return segments
+
+
+def segment_by_tag(workload: Workload) -> List[Segment]:
+    """Split at every tag change (runs of identically tagged queries)."""
+    segments: List[Segment] = []
+    run: List[Statement] = []
+    run_start = 0
+    for i, statement in enumerate(workload):
+        if run and statement.tag != run[-1].tag:
+            segments.append(Segment(tuple(run), run_start, run[-1].tag))
+            run, run_start = [], i
+        run.append(statement)
+    if run:
+        segments.append(Segment(tuple(run), run_start, run[-1].tag))
+    return segments
+
+
+def segment_per_statement(workload: Workload) -> List[Segment]:
+    """One segment per statement — the paper's exact formulation."""
+    return [Segment((statement,), i, statement.tag)
+            for i, statement in enumerate(workload)]
+
+
+def _dominant_tag(statements: Tuple[Statement, ...]) -> Optional[str]:
+    counts: dict = {}
+    for statement in statements:
+        if statement.tag is not None:
+            counts[statement.tag] = counts.get(statement.tag, 0) + 1
+    if not counts:
+        return None
+    return max(counts, key=lambda t: counts[t])

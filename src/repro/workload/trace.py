@@ -1,0 +1,69 @@
+"""Workload trace serialization (JSONL).
+
+The paper's motivating scenario captures a trace on one day and reuses
+it as a representative workload later. These helpers persist and reload
+workloads so examples and users can do exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..errors import WorkloadError
+from .model import Statement, Workload
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(workload: Workload, path: Union[str, Path]) -> int:
+    """Write a workload as JSONL; returns the statement count.
+
+    The first line is a header record carrying the format version and
+    the workload name.
+    """
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        header = {"format": "repro-trace", "version": _FORMAT_VERSION,
+                  "name": workload.name, "n": len(workload)}
+        handle.write(json.dumps(header) + "\n")
+        for statement in workload:
+            record = {"sql": statement.sql}
+            if statement.tag is not None:
+                record["tag"] = statement.tag
+            handle.write(json.dumps(record) + "\n")
+    return len(workload)
+
+
+def load_trace(path: Union[str, Path]) -> Workload:
+    """Read a workload previously written by :func:`save_trace`."""
+    path = Path(path)
+    statements = []
+    name = None
+    with path.open("r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise WorkloadError(
+                    f"{path}:{line_no + 1}: invalid JSON: {exc}") from exc
+            if line_no == 0:
+                if record.get("format") != "repro-trace":
+                    raise WorkloadError(
+                        f"{path} is not a repro trace file")
+                if record.get("version") != _FORMAT_VERSION:
+                    raise WorkloadError(
+                        f"{path}: unsupported trace version "
+                        f"{record.get('version')}")
+                name = record.get("name")
+                continue
+            if "sql" not in record:
+                raise WorkloadError(
+                    f"{path}:{line_no + 1}: record missing 'sql'")
+            statements.append(Statement(record["sql"],
+                                        tag=record.get("tag")))
+    return Workload(statements, name=name)

@@ -1,0 +1,54 @@
+"""Unit tests for ASCII reporting helpers."""
+
+import pytest
+
+from repro.bench import format_bars, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(["name", "value"],
+                            [["alpha", 1], ["b", 22.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "-----" in lines[1]
+        assert "alpha" in lines[2]
+        assert "22.50" in lines[3]
+
+    def test_title(self):
+        text = format_table(["x"], [["y"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        text = format_table(["only", "header"], [])
+        assert "only" in text
+
+
+class TestFormatBars:
+    def test_bars_scale_to_peak(self):
+        text = format_bars(["a", "b"], [0.5, 1.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_percent_rendering(self):
+        text = format_bars(["x"], [1.234])
+        assert "123.4%" in text
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            format_bars(["a"], [1.0, 2.0])
+
+    def test_zero_values(self):
+        text = format_bars(["a"], [0.0])
+        assert "#" not in text
+
+
+class TestFormatSeries:
+    def test_one_row_per_x(self):
+        text = format_series("k", [1, 2],
+                             {"s1": [10, 20], "s2": [30, 40]})
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "s1" in lines[0] and "s2" in lines[0]
+        assert "20" in lines[3] and "40" in lines[3]

@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core import (EMPTY_CONFIGURATION, ProblemInstance,
+                        WhatIfCostProvider, build_cost_matrices,
+                        single_index_configurations)
+from repro.sqlengine import Database, IndexDef
+from repro.workload import (make_paper_workload, paper_generator,
+                            segment_by_count)
+
+SMALL_NROWS = 20_000
+SMALL_BLOCK = 50
+
+
+@pytest.fixture(scope="session")
+def small_db():
+    """A database with the paper's table at small scale (20k rows).
+
+    Session-scoped and treated as read-only by tests; DML tests build
+    their own databases.
+    """
+    db = Database()
+    db.create_table("t", [("a", "INTEGER"), ("b", "INTEGER"),
+                          ("c", "INTEGER"), ("d", "INTEGER")])
+    rng = np.random.default_rng(1234)
+    db.bulk_load("t", {column: rng.integers(0, 500_000, SMALL_NROWS)
+                       for column in ("a", "b", "c", "d")})
+    return db
+
+
+@pytest.fixture()
+def fresh_db():
+    """A tiny writable database (per-test)."""
+    db = Database()
+    db.create_table("t", [("a", "INTEGER"), ("b", "INTEGER"),
+                          ("c", "INTEGER"), ("d", "INTEGER")])
+    rng = np.random.default_rng(7)
+    db.bulk_load("t", {column: rng.integers(0, 1_000, 2_000)
+                       for column in ("a", "b", "c", "d")})
+    return db
+
+
+@pytest.fixture(scope="session")
+def paper_candidates():
+    return [IndexDef("t", ("a",)), IndexDef("t", ("b",)),
+            IndexDef("t", ("c",)), IndexDef("t", ("d",)),
+            IndexDef("t", ("a", "b")), IndexDef("t", ("c", "d"))]
+
+
+@pytest.fixture(scope="session")
+def small_problem(small_db, paper_candidates):
+    """W1 at reduced scale over the 7-configuration space."""
+    workload = make_paper_workload("W1", paper_generator(seed=5),
+                                   block_size=SMALL_BLOCK)
+    segments = segment_by_count(workload, SMALL_BLOCK)
+    return ProblemInstance(
+        segments=tuple(segments),
+        configurations=single_index_configurations(paper_candidates),
+        initial=EMPTY_CONFIGURATION, final=EMPTY_CONFIGURATION)
+
+
+@pytest.fixture(scope="session")
+def small_provider(small_db):
+    return WhatIfCostProvider(small_db.what_if())
+
+
+@pytest.fixture(scope="session")
+def small_matrices(small_problem, small_provider):
+    return build_cost_matrices(small_problem, small_provider)

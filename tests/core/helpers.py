@@ -1,0 +1,61 @@
+"""Shared helpers for the core-algorithm tests: synthetic cost
+matrices and a brute-force optimizer used as ground truth."""
+
+from itertools import product
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.costmatrix import CostMatrices
+from repro.core.structures import Configuration
+from repro.sqlengine.index import IndexDef
+
+
+def synthetic_configs(n_cfg: int) -> Tuple[Configuration, ...]:
+    configs = [Configuration()]
+    for i in range(1, n_cfg):
+        configs.append(Configuration({IndexDef("t", (f"c{i}",))}))
+    return tuple(configs)
+
+
+def random_matrices(n_seg: int, n_cfg: int, seed: int,
+                    initial_index: int = 0,
+                    final_index: Optional[int] = None,
+                    trans_scale: float = 5.0) -> CostMatrices:
+    """Random EXEC/TRANS matrices with a zero-diagonal TRANS."""
+    rng = np.random.default_rng(seed)
+    exec_matrix = rng.uniform(1.0, 10.0, size=(n_seg, n_cfg))
+    trans_matrix = rng.uniform(trans_scale / 10.0, trans_scale,
+                               size=(n_cfg, n_cfg))
+    np.fill_diagonal(trans_matrix, 0.0)
+    return CostMatrices(configurations=synthetic_configs(n_cfg),
+                        exec_matrix=exec_matrix,
+                        trans_matrix=trans_matrix,
+                        initial_index=initial_index,
+                        final_index=final_index)
+
+
+def brute_force_best(matrices: CostMatrices, k: Optional[int],
+                     count_initial_change: bool = True
+                     ) -> Tuple[Tuple[int, ...], float]:
+    """Exhaustively enumerate every assignment; the ground truth for
+    small instances."""
+    n_seg = matrices.n_segments
+    n_cfg = matrices.n_configurations
+    best_cost, best_assignment = float("inf"), None
+    for assignment in product(range(n_cfg), repeat=n_seg):
+        if k is not None:
+            changes = 0
+            previous = matrices.initial_index if count_initial_change \
+                else assignment[0]
+            for cfg in assignment:
+                if cfg != previous:
+                    changes += 1
+                previous = cfg
+            if changes > k:
+                continue
+        cost = matrices.sequence_cost(assignment)
+        if cost < best_cost:
+            best_cost, best_assignment = cost, assignment
+    assert best_assignment is not None
+    return best_assignment, best_cost

@@ -1,0 +1,98 @@
+"""Tests for the advisor facade (on the real engine, small scale)."""
+
+import pytest
+
+from repro.core import (ConstrainedGraphAdvisor, GreedySeqAdvisor,
+                        HybridAdvisor, MergingAdvisor, RankingAdvisor,
+                        StaticAdvisor, UnconstrainedAdvisor)
+
+
+@pytest.fixture(scope="module")
+def recommendations(small_problem, small_provider, small_matrices):
+    advisors = {
+        "unconstrained": UnconstrainedAdvisor(),
+        "static": StaticAdvisor(),
+        "kaware": ConstrainedGraphAdvisor(2,
+                                          count_initial_change=False),
+        "merging": MergingAdvisor(2, count_initial_change=False),
+        "hybrid": HybridAdvisor(2, count_initial_change=False),
+    }
+    return {name: advisor.recommend(small_problem, small_provider,
+                                    small_matrices)
+            for name, advisor in advisors.items()}
+
+
+class TestRecommendations:
+    def test_all_produce_designs_of_right_length(self, recommendations,
+                                                 small_problem):
+        for name, rec in recommendations.items():
+            assert len(rec.design) == small_problem.n_segments, name
+
+    def test_costs_consistent_with_matrices(self, recommendations,
+                                            small_matrices):
+        for name, rec in recommendations.items():
+            assert rec.design.cost(small_matrices) == \
+                pytest.approx(rec.cost), name
+
+    def test_constrained_respect_budget(self, recommendations):
+        for name in ("kaware", "merging", "hybrid"):
+            assert recommendations[name].change_count <= 2, name
+
+    def test_unconstrained_is_cheapest(self, recommendations):
+        base = recommendations["unconstrained"].cost
+        for name, rec in recommendations.items():
+            assert rec.cost >= base - 1e-6, name
+
+    def test_static_is_single_config(self, recommendations):
+        design = recommendations["static"].design
+        assert len(set(design.assignments)) == 1
+
+    def test_kaware_beats_or_ties_static(self, recommendations):
+        assert recommendations["kaware"].cost <= \
+            recommendations["static"].cost + 1e-6
+
+    def test_merging_matches_or_exceeds_kaware(self, recommendations):
+        assert recommendations["merging"].cost >= \
+            recommendations["kaware"].cost - 1e-6
+
+    def test_wall_time_recorded(self, recommendations):
+        for rec in recommendations.values():
+            assert rec.wall_time_seconds >= 0
+
+    def test_summary_text(self, recommendations):
+        text = recommendations["kaware"].summary()
+        assert "kaware" in text and "changes=2" in text
+
+    def test_stats_populated(self, recommendations):
+        assert recommendations["hybrid"].stats["method"] in (
+            "kaware", "merging", "unconstrained")
+        assert recommendations["kaware"].stats["k"] == 2
+
+
+class TestGreedySeqAdvisor:
+    def test_recommend_without_prebuilt_matrices(self, small_problem,
+                                                 small_provider):
+        advisor = GreedySeqAdvisor(2, count_initial_change=False)
+        rec = advisor.recommend(small_problem, small_provider)
+        assert rec.change_count <= 2
+        assert rec.stats["candidates"] >= 2
+        assert len(rec.design) == small_problem.n_segments
+
+    def test_unconstrained_mode(self, small_problem, small_provider):
+        advisor = GreedySeqAdvisor(None)
+        rec = advisor.recommend(small_problem, small_provider)
+        assert rec.cost > 0
+
+
+class TestRankingAdvisor:
+    def test_near_l_budget_is_fast_and_optimal(self, small_problem,
+                                               small_provider,
+                                               small_matrices):
+        unconstrained = UnconstrainedAdvisor().recommend(
+            small_problem, small_provider, small_matrices)
+        k = max(1, unconstrained.change_count - 1)
+        ranked = RankingAdvisor(k).recommend(
+            small_problem, small_provider, small_matrices)
+        exact = ConstrainedGraphAdvisor(k).recommend(
+            small_problem, small_provider, small_matrices)
+        assert ranked.cost == pytest.approx(exact.cost)

@@ -1,0 +1,129 @@
+"""Unit tests for cost providers and matrices."""
+
+import numpy as np
+import pytest
+
+from repro.core import (Configuration, EMPTY_CONFIGURATION,
+                        MatrixCostProvider, ProblemInstance,
+                        WhatIfCostProvider, build_cost_matrices)
+from repro.errors import DesignError
+from repro.sqlengine import IndexDef
+from repro.workload import Segment, Statement
+
+from .helpers import random_matrices
+
+A = IndexDef("t", ("a",))
+CONFIG_A = Configuration({A})
+
+
+class TestWhatIfCostProvider:
+    def test_exec_cost_sums_statements(self, small_provider):
+        s1 = Statement("SELECT a FROM t WHERE a = 1")
+        s2 = Statement("SELECT a FROM t WHERE a = 2")
+        seg1 = Segment((s1,), 0)
+        seg2 = Segment((s1, s2), 0)
+        c1 = small_provider.exec_cost(seg1, EMPTY_CONFIGURATION)
+        c2 = small_provider.exec_cost(seg2, EMPTY_CONFIGURATION)
+        assert c2 == pytest.approx(2 * c1)
+
+    def test_exec_cache_hit_is_identical(self, small_provider):
+        seg = Segment((Statement("SELECT a FROM t WHERE a = 3"),), 0)
+        first = small_provider.exec_cost(seg, CONFIG_A)
+        second = small_provider.exec_cost(seg, CONFIG_A)
+        assert first == second
+
+    def test_trans_cost_zero_on_identity(self, small_provider):
+        assert small_provider.trans_cost(CONFIG_A, CONFIG_A) == 0.0
+
+    def test_size_bytes_positive(self, small_provider):
+        assert small_provider.size_bytes(CONFIG_A) > 0
+        assert small_provider.size_bytes(EMPTY_CONFIGURATION) == 0
+
+
+class TestMatrixCostProvider:
+    def make(self):
+        segs = [Segment((Statement("SELECT a FROM t"),), i)
+                for i in range(2)]
+        configs = [EMPTY_CONFIGURATION, CONFIG_A]
+        exec_matrix = np.array([[1.0, 2.0], [3.0, 4.0]])
+        trans = np.array([[0.0, 5.0], [1.0, 0.0]])
+        return segs, configs, MatrixCostProvider(
+            segs, configs, exec_matrix, trans,
+            sizes={CONFIG_A: 7})
+
+    def test_lookups(self):
+        segs, configs, provider = self.make()
+        assert provider.exec_cost(segs[1], configs[0]) == 3.0
+        assert provider.trans_cost(configs[0], configs[1]) == 5.0
+        assert provider.size_bytes(configs[1]) == 7
+        assert provider.size_bytes(configs[0]) == 0
+
+    def test_shape_validation(self):
+        segs = [Segment((Statement("SELECT a FROM t"),), 0)]
+        configs = [EMPTY_CONFIGURATION]
+        with pytest.raises(DesignError):
+            MatrixCostProvider(segs, configs, np.zeros((2, 1)),
+                               np.zeros((1, 1)))
+        with pytest.raises(DesignError):
+            MatrixCostProvider(segs, configs, np.zeros((1, 1)),
+                               np.zeros((2, 2)))
+
+    def test_nonzero_diagonal_rejected(self):
+        segs = [Segment((Statement("SELECT a FROM t"),), 0)]
+        configs = [EMPTY_CONFIGURATION]
+        with pytest.raises(DesignError):
+            MatrixCostProvider(segs, configs, np.zeros((1, 1)),
+                               np.array([[1.0]]))
+
+
+class TestCostMatrices:
+    def test_build_from_problem(self, small_problem, small_provider):
+        matrices = build_cost_matrices(small_problem, small_provider)
+        assert matrices.exec_matrix.shape == (
+            small_problem.n_segments, small_problem.n_configurations)
+        assert np.all(np.diag(matrices.trans_matrix) == 0)
+        assert matrices.initial_index == \
+            matrices.config_index(small_problem.initial)
+        assert matrices.final_index is not None
+
+    def test_config_index_unknown_raises(self):
+        matrices = random_matrices(3, 3, seed=0)
+        with pytest.raises(DesignError):
+            matrices.config_index(Configuration({IndexDef("t",
+                                                          ("zz",))}))
+
+    def test_prefix_sums(self):
+        matrices = random_matrices(5, 3, seed=1)
+        run = matrices.exec_run_cost(1, 4, 2)
+        expected = matrices.exec_matrix[1:4, 2].sum()
+        assert run == pytest.approx(expected)
+
+    def test_sequence_cost_manual(self):
+        matrices = random_matrices(3, 3, seed=2)
+        assignment = [1, 1, 2]
+        manual = (matrices.trans_matrix[0, 1] +
+                  matrices.exec_matrix[0, 1] +
+                  matrices.exec_matrix[1, 1] +
+                  matrices.trans_matrix[1, 2] +
+                  matrices.exec_matrix[2, 2])
+        assert matrices.sequence_cost(assignment) == pytest.approx(
+            manual)
+
+    def test_sequence_cost_with_final(self):
+        matrices = random_matrices(2, 3, seed=3, final_index=0)
+        assignment = [1, 1]
+        without_final = (matrices.trans_matrix[0, 1] +
+                         matrices.exec_matrix[:, 1].sum())
+        assert matrices.sequence_cost(assignment) == pytest.approx(
+            without_final + matrices.trans_matrix[1, 0])
+
+    def test_sequence_cost_length_check(self):
+        matrices = random_matrices(3, 2, seed=4)
+        with pytest.raises(DesignError):
+            matrices.sequence_cost([0])
+
+    def test_change_count_includes_initial_step(self):
+        matrices = random_matrices(3, 3, seed=5, initial_index=0)
+        assert matrices.change_count([0, 0, 0]) == 0
+        assert matrices.change_count([1, 1, 1]) == 1
+        assert matrices.change_count([1, 0, 1]) == 3

@@ -1,0 +1,74 @@
+"""Unit tests for the hybrid solver."""
+
+import pytest
+
+from repro.core.hybrid import solve_hybrid
+from repro.core.kaware import solve_constrained
+from repro.core.sequence_graph import solve_unconstrained
+from repro.errors import InfeasibleProblemError
+
+from .helpers import random_matrices
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_budget_respected(self, seed, k):
+        matrices = random_matrices(10, 4, seed=seed)
+        result = solve_hybrid(matrices, k)
+        assert result.change_count <= k
+        assert matrices.sequence_cost(result.assignment) == \
+            pytest.approx(result.cost)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_kaware_branch_is_optimal(self, seed):
+        matrices = random_matrices(10, 4, seed=seed)
+        result = solve_hybrid(matrices, 1, bias=1e9)  # force graph
+        assert result.method == "kaware"
+        assert result.cost == pytest.approx(
+            solve_constrained(matrices, 1).cost)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_merging_branch_is_feasible(self, seed):
+        matrices = random_matrices(10, 4, seed=seed)
+        result = solve_hybrid(matrices, 1, bias=0.0)  # force merging
+        if result.method != "unconstrained":
+            assert result.method == "merging"
+        assert result.change_count <= 1
+
+    def test_unconstrained_shortcut(self):
+        matrices = random_matrices(6, 3, seed=0)
+        l_changes = solve_unconstrained(matrices).change_count
+        result = solve_hybrid(matrices, k=l_changes + 1)
+        assert result.method == "unconstrained"
+        assert result.cost == pytest.approx(
+            solve_unconstrained(matrices).cost)
+
+    def test_negative_k_raises(self):
+        with pytest.raises(InfeasibleProblemError):
+            solve_hybrid(random_matrices(3, 2, seed=0), -1)
+
+
+class TestWorkEstimates:
+    def test_estimates_populated_when_constrained_work_needed(self):
+        matrices = random_matrices(10, 4, seed=1)
+        result = solve_hybrid(matrices, 1)
+        if result.method != "unconstrained":
+            assert result.estimated_graph_ops > 0
+            assert result.estimated_merge_ops > 0
+
+    def test_graph_estimate_grows_with_k(self):
+        matrices = random_matrices(12, 4, seed=2)
+        r_small = solve_hybrid(matrices, 1)
+        r_large = solve_hybrid(matrices, 5)
+        if "unconstrained" not in (r_small.method, r_large.method):
+            assert r_large.estimated_graph_ops > \
+                r_small.estimated_graph_ops
+
+    def test_merge_estimate_shrinks_with_k(self):
+        matrices = random_matrices(12, 4, seed=3)
+        r_small = solve_hybrid(matrices, 1)
+        r_large = solve_hybrid(matrices, 5)
+        if "unconstrained" not in (r_small.method, r_large.method):
+            assert r_large.estimated_merge_ops < \
+                r_small.estimated_merge_ops

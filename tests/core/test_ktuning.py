@@ -1,0 +1,136 @@
+"""Unit tests for k selection (sweep, knee, validation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (EMPTY_CONFIGURATION, ProblemInstance,
+                        build_cost_matrices, knee_k, sweep_k,
+                        validated_k)
+from repro.core.ktuning import KSweepResult
+from repro.errors import DesignError
+from repro.workload import (make_paper_workload, paper_generator,
+                            segment_by_count, standard_variations)
+
+from .helpers import random_matrices
+
+
+class TestSweepK:
+    def test_costs_non_increasing(self):
+        matrices = random_matrices(8, 4, seed=0)
+        sweep = sweep_k(matrices)
+        for a, b in zip(sweep.costs, sweep.costs[1:]):
+            assert b <= a + 1e-9
+
+    def test_default_range_reaches_unconstrained(self):
+        matrices = random_matrices(8, 4, seed=1)
+        sweep = sweep_k(matrices)
+        assert sweep.ks[-1] == sweep.unconstrained_changes
+        assert sweep.costs[-1] == pytest.approx(
+            sweep.unconstrained_cost)
+
+    def test_explicit_ks(self):
+        matrices = random_matrices(6, 3, seed=2)
+        sweep = sweep_k(matrices, ks=[0, 2, 4])
+        assert sweep.ks == (0, 2, 4)
+        assert len(sweep.costs) == 3
+
+    def test_negative_k_raises(self):
+        matrices = random_matrices(4, 3, seed=3)
+        with pytest.raises(DesignError):
+            sweep_k(matrices, ks=[-1, 2])
+
+    def test_marginal_gains_nonnegative(self):
+        matrices = random_matrices(8, 4, seed=4)
+        sweep = sweep_k(matrices)
+        assert all(g >= -1e-9 for g in sweep.marginal_gains())
+
+
+class TestKneeK:
+    def test_synthetic_knee_detected(self):
+        # Cost plunges until k=3 then flattens.
+        sweep = KSweepResult(ks=tuple(range(7)),
+                             costs=(100, 70, 45, 20, 19.5, 19.2, 19),
+                             unconstrained_cost=19,
+                             unconstrained_changes=6)
+        assert knee_k(sweep) == 3
+
+    def test_flat_curve_returns_smallest(self):
+        sweep = KSweepResult(ks=(0, 1, 2), costs=(10, 10, 10),
+                             unconstrained_cost=10,
+                             unconstrained_changes=2)
+        assert knee_k(sweep) == 0
+
+    def test_plateau_before_cliff_is_skipped(self):
+        # k=1 buys nothing, k=2 buys everything: the knee is 2, not
+        # the plateau at 0/1.
+        sweep = KSweepResult(ks=(0, 1, 2, 3, 4),
+                             costs=(100, 100, 30, 29, 28),
+                             unconstrained_cost=28,
+                             unconstrained_changes=4)
+        assert knee_k(sweep) == 2
+
+    def test_linear_curve_returns_largest(self):
+        sweep = KSweepResult(ks=(0, 1, 2), costs=(100, 60, 20),
+                             unconstrained_cost=20,
+                             unconstrained_changes=2)
+        assert knee_k(sweep) == 2
+
+    def test_single_point(self):
+        sweep = KSweepResult(ks=(3,), costs=(5.0,),
+                             unconstrained_cost=5.0,
+                             unconstrained_changes=3)
+        assert knee_k(sweep) == 3
+
+    def test_paper_workload_knee_is_the_major_shift_count(
+            self, small_matrices):
+        """On W1, the knee of the cost curve should be ~2 — the number
+        of major shifts, recovering the paper's domain-knowledge choice
+        automatically."""
+        sweep = sweep_k(small_matrices, count_initial_change=False)
+        knee = knee_k(sweep)
+        assert knee == 2
+
+
+class TestValidatedK:
+    @pytest.fixture(scope="class")
+    def tuned(self, small_db, small_problem, small_provider):
+        from repro.workload import jitter_blocks
+        workload = make_paper_workload("W1", paper_generator(seed=5),
+                                       block_size=50)
+        # Heavily jittered minors: the scenario where overfit designs
+        # lose (the W3 relationship, synthesized).
+        variations = [jitter_blocks(workload, 50, seed=77 + i,
+                                    max_displacement=3,
+                                    swap_fraction=0.9)
+                      for i in range(4)]
+        return validated_k(small_problem, small_provider, variations,
+                           block_size=50, ks=[0, 1, 2, 6, 10, 14],
+                           count_initial_change=False)
+
+    def test_training_costs_non_increasing(self, tuned):
+        for a, b in zip(tuned.training_costs,
+                        tuned.training_costs[1:]):
+            assert b <= a + 1e-9
+
+    def test_validation_penalizes_overfit_designs(self, tuned):
+        """The largest k must not win validation: its design is fit to
+        the trace's exact minor shifts."""
+        by_k = dict(zip(tuned.ks, tuned.validation_costs))
+        assert tuned.best_k < max(tuned.ks)
+        assert by_k[tuned.best_k] <= by_k[max(tuned.ks)]
+
+    def test_best_k_beats_k0_on_validation(self, tuned):
+        by_k = dict(zip(tuned.ks, tuned.validation_costs))
+        assert by_k[tuned.best_k] < by_k[0]
+
+    def test_designs_recorded_per_k(self, tuned):
+        assert set(tuned.designs) == set(tuned.ks)
+
+    def test_mismatched_variation_length_raises(
+            self, small_problem, small_provider):
+        short = make_paper_workload("W1", paper_generator(seed=5),
+                                    block_size=10)
+        # 300 statements at block 50 -> 6 segments, trace has 30.
+        with pytest.raises(DesignError):
+            validated_k(small_problem, small_provider, [short],
+                        block_size=50, ks=[1])

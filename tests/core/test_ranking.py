@@ -1,0 +1,110 @@
+"""Unit tests for the path-ranking solver (Section 5)."""
+
+import pytest
+
+from repro.core.kaware import solve_constrained
+from repro.core.ranking import _PathRanker, solve_by_ranking
+from repro.core.sequence_graph import (SINK, SequenceGraph,
+                                       solve_unconstrained)
+from repro.errors import InfeasibleProblemError, RankingExhaustedError
+
+from .helpers import random_matrices
+
+
+class TestRankedPathsAreOrdered:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_costs_nondecreasing(self, seed):
+        matrices = random_matrices(4, 3, seed=seed)
+        ranker = _PathRanker(SequenceGraph(matrices))
+        costs = []
+        for rank in range(1, 30):
+            entry = ranker.path(SINK, rank)
+            if entry is None:
+                break
+            costs.append(entry[0])
+        assert len(costs) >= 10
+        assert all(b >= a - 1e-12 for a, b in zip(costs, costs[1:]))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_rank1_is_shortest_path(self, seed):
+        matrices = random_matrices(5, 3, seed=seed)
+        ranker = _PathRanker(SequenceGraph(matrices))
+        assert ranker.path(SINK, 1)[0] == pytest.approx(
+            solve_unconstrained(matrices).cost)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_paths_are_distinct(self, seed):
+        matrices = random_matrices(4, 3, seed=seed)
+        ranker = _PathRanker(SequenceGraph(matrices))
+        seen = set()
+        for rank in range(1, 40):
+            if ranker.path(SINK, rank) is None:
+                break
+            assignment = ranker.assignment_of(SINK, rank)
+            assert assignment not in seen, \
+                f"duplicate path at rank {rank}"
+            seen.add(assignment)
+
+    def test_enumeration_is_exhaustive(self):
+        # 3 segments x 2 configs = 8 total assignments.
+        matrices = random_matrices(3, 2, seed=0)
+        ranker = _PathRanker(SequenceGraph(matrices))
+        paths = []
+        rank = 1
+        while ranker.path(SINK, rank) is not None:
+            paths.append(ranker.assignment_of(SINK, rank))
+            rank += 1
+        assert len(paths) == 8
+
+    def test_assignment_costs_match_entries(self):
+        matrices = random_matrices(4, 3, seed=2)
+        ranker = _PathRanker(SequenceGraph(matrices))
+        for rank in (1, 3, 7):
+            entry = ranker.path(SINK, rank)
+            assignment = ranker.assignment_of(SINK, rank)
+            assert matrices.sequence_cost(assignment) == \
+                pytest.approx(entry[0])
+
+
+class TestConstrainedViaRanking:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_agrees_with_kaware(self, seed, k):
+        matrices = random_matrices(5, 3, seed=seed)
+        ranked = solve_by_ranking(matrices, k)
+        exact = solve_constrained(matrices, k)
+        assert ranked.cost == pytest.approx(exact.cost)
+        assert ranked.change_count <= k
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_uncounted_initial_mode(self, seed):
+        matrices = random_matrices(5, 3, seed=seed)
+        ranked = solve_by_ranking(matrices, 1,
+                                  count_initial_change=False)
+        exact = solve_constrained(matrices, 1,
+                                  count_initial_change=False)
+        assert ranked.cost == pytest.approx(exact.cost)
+
+    def test_feasible_first_path_examines_one(self):
+        matrices = random_matrices(5, 3, seed=0)
+        unconstrained = solve_unconstrained(matrices)
+        ranked = solve_by_ranking(matrices,
+                                  k=unconstrained.change_count)
+        assert ranked.paths_examined == 1
+
+    def test_exhaustion_raises_with_context(self):
+        matrices = random_matrices(8, 4, seed=1)
+        with pytest.raises(RankingExhaustedError) as exc:
+            solve_by_ranking(matrices, 0, max_paths=5)
+        assert exc.value.paths_examined == 5
+        assert exc.value.best_infeasible_cost < float("inf")
+
+    def test_negative_k_raises(self):
+        with pytest.raises(InfeasibleProblemError):
+            solve_by_ranking(random_matrices(3, 2, seed=0), -1)
+
+    def test_with_final_constraint(self):
+        matrices = random_matrices(4, 3, seed=3, final_index=0)
+        ranked = solve_by_ranking(matrices, 2)
+        exact = solve_constrained(matrices, 2)
+        assert ranked.cost == pytest.approx(exact.cost)

@@ -1,0 +1,104 @@
+"""Unit tests for robustness analysis."""
+
+import pytest
+
+from repro.core import (ConstrainedGraphAdvisor, DesignSequence,
+                        EMPTY_CONFIGURATION, UnconstrainedAdvisor,
+                        compare_robustness, evaluate_robustness)
+from repro.core.robustness import VariantOutcome
+from repro.errors import DesignError
+from repro.workload import (jitter_blocks, make_paper_workload,
+                            paper_generator)
+
+
+@pytest.fixture(scope="module")
+def designs(small_problem, small_provider, small_matrices):
+    unconstrained = UnconstrainedAdvisor().recommend(
+        small_problem, small_provider, small_matrices)
+    constrained = ConstrainedGraphAdvisor(
+        2, count_initial_change=False).recommend(
+        small_problem, small_provider, small_matrices)
+    return unconstrained.design, constrained.design
+
+
+@pytest.fixture(scope="module")
+def jitter_variants():
+    trace = make_paper_workload("W1", paper_generator(seed=5),
+                                block_size=50)
+    return [jitter_blocks(trace, 50, seed=s, max_displacement=2)
+            for s in (101, 102, 103)]
+
+
+class TestVariantOutcome:
+    def test_regret_formula(self):
+        outcome = VariantOutcome("v", design_cost=120.0,
+                                 optimal_cost=100.0)
+        assert outcome.regret == pytest.approx(0.2)
+
+    def test_zero_optimum_guard(self):
+        assert VariantOutcome("v", 5.0, 0.0).regret == 0.0
+
+
+class TestEvaluateRobustness:
+    def test_regret_nonnegative(self, designs, jitter_variants,
+                                small_problem, small_provider):
+        _, constrained = designs
+        report = evaluate_robustness(constrained, small_problem,
+                                     small_provider, jitter_variants,
+                                     block_size=50)
+        assert all(o.regret >= -1e-9 for o in report.outcomes)
+        assert len(report.outcomes) == 3
+
+    def test_summary_text(self, designs, jitter_variants,
+                          small_problem, small_provider):
+        _, constrained = designs
+        report = evaluate_robustness(constrained, small_problem,
+                                     small_provider, jitter_variants,
+                                     block_size=50, design_label="k2")
+        assert "k2" in report.summary()
+        assert "%" in report.summary()
+
+    def test_wrong_design_length_raises(self, small_problem,
+                                        small_provider,
+                                        jitter_variants):
+        bad = DesignSequence(EMPTY_CONFIGURATION,
+                             [EMPTY_CONFIGURATION])
+        with pytest.raises(DesignError):
+            evaluate_robustness(bad, small_problem, small_provider,
+                                jitter_variants, block_size=50)
+
+    def test_mismatched_variant_raises(self, designs, small_problem,
+                                       small_provider):
+        _, constrained = designs
+        short = make_paper_workload("W1", paper_generator(seed=5),
+                                    block_size=10)
+        # 300 statements at block 50 -> 6 segments, trace has 30.
+        with pytest.raises(DesignError):
+            evaluate_robustness(constrained, small_problem,
+                                small_provider, [short],
+                                block_size=50)
+
+
+class TestCompareRobustness:
+    def test_constrained_is_flatter_under_jitter(
+            self, designs, jitter_variants, small_problem,
+            small_provider):
+        """The paper's second open question, answered on jittered
+        minors: the constrained design's worst-case regret across
+        variants must not exceed the overfit design's."""
+        unconstrained, constrained = designs
+        reports = compare_robustness(
+            {"unconstrained": unconstrained, "k2": constrained},
+            small_problem, small_provider, jitter_variants,
+            block_size=50)
+        assert reports["k2"].worst_regret <= \
+            reports["unconstrained"].worst_regret + 0.02
+
+    def test_reports_keyed_by_label(self, designs, jitter_variants,
+                                    small_problem, small_provider):
+        unconstrained, constrained = designs
+        reports = compare_robustness(
+            {"u": unconstrained, "c": constrained}, small_problem,
+            small_provider, jitter_variants, block_size=50)
+        assert set(reports) == {"u", "c"}
+        assert reports["u"].design_label == "u"

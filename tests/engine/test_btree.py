@@ -1,0 +1,189 @@
+"""Unit tests for the B+-tree."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.sqlengine.btree import BPlusTree, normalize_key
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.height == 1
+        assert tree.search(5) == []
+
+    def test_order_too_small_raises(self):
+        with pytest.raises(StorageError):
+            BPlusTree(order=2)
+
+    def test_insert_and_search(self):
+        tree = BPlusTree(order=4)
+        tree.insert(5, 100)
+        assert tree.search(5) == [100]
+        assert tree.search(6) == []
+
+    def test_normalize_key(self):
+        assert normalize_key(5) == (5,)
+        assert normalize_key((1, 2)) == (1, 2)
+        assert normalize_key([1, 2]) == (1, 2)
+
+    def test_duplicates_all_returned(self):
+        tree = BPlusTree(order=4)
+        for rid in range(10):
+            tree.insert(7, rid)
+        assert sorted(tree.search(7)) == list(range(10))
+
+    def test_many_inserts_stay_sorted(self):
+        tree = BPlusTree(order=4)
+        for i in [5, 3, 9, 1, 7, 2, 8, 4, 6, 0]:
+            tree.insert(i, i)
+        keys = [k[0] for k, _ in tree.items()]
+        assert keys == sorted(keys) == list(range(10))
+
+    def test_height_grows(self):
+        tree = BPlusTree(order=4)
+        for i in range(100):
+            tree.insert(i, i)
+        assert tree.height >= 3
+        tree.check_invariants()
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        tree = BPlusTree(order=4)
+        tree.insert(5, 1)
+        assert tree.delete(5, 1)
+        assert tree.search(5) == []
+        assert len(tree) == 0
+
+    def test_delete_missing_returns_false(self):
+        tree = BPlusTree(order=4)
+        tree.insert(5, 1)
+        assert not tree.delete(6)
+        assert not tree.delete(5, 99)
+
+    def test_delete_specific_duplicate(self):
+        tree = BPlusTree(order=4)
+        for rid in (1, 2, 3):
+            tree.insert(5, rid)
+        tree.delete(5, 2)
+        assert sorted(tree.search(5)) == [1, 3]
+
+    def test_delete_everything_shrinks_root(self):
+        tree = BPlusTree(order=4)
+        for i in range(200):
+            tree.insert(i, i)
+        for i in range(200):
+            assert tree.delete(i, i)
+        assert len(tree) == 0
+        assert tree.height == 1
+
+    def test_interleaved_insert_delete_invariants(self):
+        tree = BPlusTree(order=4)
+        for i in range(300):
+            tree.insert(i % 50, i)
+            if i % 3 == 0:
+                tree.delete(i % 50, i)
+        tree.check_invariants()
+
+    def test_delete_duplicates_spanning_splits(self):
+        tree = BPlusTree(order=4)
+        for rid in range(50):
+            tree.insert(9, rid)
+        for rid in range(50):
+            assert tree.delete(9, rid), f"rid {rid} not found"
+        assert tree.search(9) == []
+
+
+class TestBulkLoad:
+    def test_bulk_load_round_trip(self):
+        tree = BPlusTree(order=8)
+        pairs = [((i,), i * 10) for i in range(1000)]
+        tree.bulk_load(pairs)
+        assert len(tree) == 1000
+        assert tree.search(123) == [1230]
+        tree.check_invariants()
+
+    def test_bulk_load_unsorted_raises(self):
+        tree = BPlusTree()
+        with pytest.raises(StorageError):
+            tree.bulk_load([((2,), 0), ((1,), 1)])
+
+    def test_bulk_load_empty(self):
+        tree = BPlusTree()
+        tree.bulk_load([])
+        assert len(tree) == 0
+
+    def test_bulk_load_replaces_content(self):
+        tree = BPlusTree()
+        tree.insert(99, 1)
+        tree.bulk_load([((1,), 2)])
+        assert tree.search(99) == []
+        assert tree.search(1) == [2]
+
+    def test_bulk_load_with_duplicates(self):
+        tree = BPlusTree(order=4)
+        pairs = [((5,), rid) for rid in range(40)]
+        tree.bulk_load(pairs)
+        assert sorted(tree.search(5)) == list(range(40))
+
+    def test_bulk_load_then_inserts(self):
+        tree = BPlusTree(order=8)
+        tree.bulk_load([((i,), i) for i in range(0, 100, 2)])
+        for i in range(1, 100, 2):
+            tree.insert(i, i)
+        keys = [k[0] for k, _ in tree.items()]
+        assert keys == list(range(100))
+        tree.check_invariants()
+
+
+class TestCompositeKeys:
+    @pytest.fixture
+    def tree(self):
+        tree = BPlusTree(order=8)
+        for a in range(10):
+            for b in range(10):
+                tree.insert((a, b), a * 10 + b)
+        return tree
+
+    def test_exact_composite_search(self, tree):
+        assert tree.search((3, 4)) == [34]
+
+    def test_prefix_search(self, tree):
+        hits = tree.search_prefix((7,))
+        assert [rid for _, rid in hits] == list(range(70, 80))
+
+    def test_prefix_search_missing(self, tree):
+        assert tree.search_prefix((42,)) == []
+
+    def test_range_scan_inclusive(self, tree):
+        hits = tree.range_scan((2, 8), (3, 1))
+        assert [rid for _, rid in hits] == [28, 29, 30, 31]
+
+    def test_range_scan_exclusive_bounds(self, tree):
+        hits = tree.range_scan((2, 8), (3, 1), lo_inclusive=False,
+                               hi_inclusive=False)
+        assert [rid for _, rid in hits] == [29, 30]
+
+    def test_range_scan_prefix_bounds(self, tree):
+        hits = tree.range_scan((4,), (4,))
+        assert [rid for _, rid in hits] == list(range(40, 50))
+
+    def test_range_scan_open_ended(self, tree):
+        hits = tree.range_scan((9, 5), None)
+        assert [rid for _, rid in hits] == [95, 96, 97, 98, 99]
+
+    def test_iter_from(self, tree):
+        out = list(tree.iter_from((9, 7)))
+        assert [rid for _, rid in out] == [97, 98, 99]
+
+
+class TestGeometryCounters:
+    def test_node_counts(self):
+        tree = BPlusTree(order=4)
+        for i in range(64):
+            tree.insert(i, i)
+        leaves, internals = tree.node_counts()
+        assert leaves >= 16
+        assert internals >= 1

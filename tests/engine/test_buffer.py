@@ -1,0 +1,103 @@
+"""Unit tests for the buffer manager (LRU + metering)."""
+
+from repro.sqlengine.buffer import BufferManager, IoMetrics
+
+
+class TestMetrics:
+    def test_first_read_is_a_miss(self):
+        buffer = BufferManager(capacity_pages=4)
+        hit = buffer.read_page((1, 0))
+        assert not hit
+        assert buffer.metrics.logical_reads == 1
+        assert buffer.metrics.physical_reads == 1
+
+    def test_second_read_hits(self):
+        buffer = BufferManager(capacity_pages=4)
+        buffer.read_page((1, 0))
+        assert buffer.read_page((1, 0))
+        assert buffer.metrics.logical_reads == 2
+        assert buffer.metrics.physical_reads == 1
+
+    def test_hit_ratio(self):
+        buffer = BufferManager(capacity_pages=4)
+        buffer.read_page((1, 0))
+        buffer.read_page((1, 0))
+        assert buffer.metrics.hit_ratio == 0.5
+
+    def test_hit_ratio_no_reads(self):
+        assert BufferManager().metrics.hit_ratio == 1.0
+
+    def test_metrics_arithmetic(self):
+        a = IoMetrics(10, 4, 2)
+        b = IoMetrics(3, 1, 1)
+        assert (a - b).logical_reads == 7
+        assert (a + b).physical_writes == 3
+
+    def test_reset_returns_old_values(self):
+        buffer = BufferManager()
+        buffer.read_page((1, 0))
+        old = buffer.reset_metrics()
+        assert old.logical_reads == 1
+        assert buffer.metrics.logical_reads == 0
+
+    def test_snapshot_is_a_copy(self):
+        buffer = BufferManager()
+        snap = buffer.snapshot()
+        buffer.read_page((1, 0))
+        assert snap.logical_reads == 0
+
+
+class TestLru:
+    def test_eviction_at_capacity(self):
+        buffer = BufferManager(capacity_pages=2)
+        buffer.read_page((1, 0))
+        buffer.read_page((1, 1))
+        buffer.read_page((1, 2))   # evicts (1, 0)
+        assert not buffer.read_page((1, 0))
+
+    def test_recency_protects_pages(self):
+        buffer = BufferManager(capacity_pages=2)
+        buffer.read_page((1, 0))
+        buffer.read_page((1, 1))
+        buffer.read_page((1, 0))   # touch 0 again
+        buffer.read_page((1, 2))   # evicts (1, 1), not (1, 0)
+        assert buffer.read_page((1, 0))
+
+    def test_cached_pages_counter(self):
+        buffer = BufferManager(capacity_pages=8)
+        buffer.read_range(1, 5)
+        assert buffer.cached_pages == 5
+
+    def test_clear_empties_cache(self):
+        buffer = BufferManager()
+        buffer.read_range(1, 3)
+        buffer.clear()
+        assert buffer.cached_pages == 0
+
+    def test_invalidate_object_drops_only_that_object(self):
+        buffer = BufferManager()
+        buffer.read_range(1, 3)
+        buffer.read_range(2, 2)
+        buffer.invalidate_object(1)
+        assert buffer.cached_pages == 2
+        assert buffer.read_page((2, 0))      # still cached
+        assert not buffer.read_page((1, 0))  # gone
+
+
+class TestWritesAndIds:
+    def test_write_counts_and_caches(self):
+        buffer = BufferManager()
+        buffer.write_page((1, 0))
+        assert buffer.metrics.physical_writes == 1
+        assert buffer.read_page((1, 0))  # cached by the write
+
+    def test_read_pages_returns_miss_count(self):
+        buffer = BufferManager()
+        buffer.read_page((1, 0))
+        misses = buffer.read_pages(1, [0, 1, 2])
+        assert misses == 2
+
+    def test_object_ids_are_unique(self):
+        buffer = BufferManager()
+        ids = {buffer.allocate_object_id() for _ in range(10)}
+        assert len(ids) == 10

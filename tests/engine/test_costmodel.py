@@ -1,0 +1,131 @@
+"""Unit tests for the cost model's structure.
+
+These tests pin the *relationships* the reproduction depends on (seek
+<< covering scan < heap scan; build cost ∝ table size) rather than
+absolute constants.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sqlengine.buffer import BufferManager
+from repro.sqlengine.costmodel import (Cost, CostParams, cost_build_index,
+                                       cost_drop_index, cost_full_scan,
+                                       cost_index_only_scan,
+                                       cost_index_seek, cost_insert)
+from repro.sqlengine.index import IndexGeometry
+from repro.sqlengine.schema import TableSchema
+from repro.sqlengine.stats import TableStats
+from repro.sqlengine.storage import HeapTable
+from repro.sqlengine.types import ColumnType
+
+PARAMS = CostParams()
+
+
+@pytest.fixture(scope="module")
+def stats():
+    schema = TableSchema.build("t", [("a", ColumnType.INTEGER),
+                                     ("b", ColumnType.INTEGER),
+                                     ("c", ColumnType.INTEGER),
+                                     ("d", ColumnType.INTEGER)])
+    table = HeapTable(schema, BufferManager())
+    rng = np.random.default_rng(0)
+    table.bulk_load({c: rng.integers(0, 500_000, 100_000)
+                     for c in "abcd"})
+    return TableStats.from_table(table)
+
+
+@pytest.fixture(scope="module")
+def schema(stats):
+    return TableSchema.build("t", [("a", ColumnType.INTEGER),
+                                   ("b", ColumnType.INTEGER),
+                                   ("c", ColumnType.INTEGER),
+                                   ("d", ColumnType.INTEGER)])
+
+
+class TestCostAlgebra:
+    def test_addition(self):
+        total = Cost(1, 2, 3) + Cost(10, 20, 30)
+        assert (total.page_reads, total.page_writes,
+                total.cpu_units) == (11, 22, 33)
+
+    def test_total_weighs_components(self):
+        params = CostParams(io_read_cost=1.0, io_write_cost=2.0)
+        assert Cost(10, 5, 1).total(params) == 10 + 10 + 1
+
+
+class TestAccessPathOrdering:
+    """The orderings that make Table 2 come out right."""
+
+    def test_point_seek_is_tiny(self, stats, schema):
+        geometry = IndexGeometry.compute(schema, ["a"], stats.nrows)
+        seek = cost_index_seek(stats, geometry,
+                               key_selectivity=1.0 / 500_000,
+                               covering=True,
+                               residual_selectivity=1.0, params=PARAMS)
+        scan = cost_full_scan(stats, PARAMS)
+        assert seek.total(PARAMS) < scan.total(PARAMS) / 100
+
+    def test_covering_scan_beats_heap_scan(self, stats, schema):
+        geometry = IndexGeometry.compute(schema, ["a", "b"],
+                                         stats.nrows)
+        covering = cost_index_only_scan(stats, geometry, PARAMS)
+        heap = cost_full_scan(stats, PARAMS)
+        assert covering.total(PARAMS) < heap.total(PARAMS)
+
+    def test_covering_scan_beats_nothing_for_narrower_costs(
+            self, stats, schema):
+        # But a covering scan is still a scan: far costlier than a seek.
+        geometry = IndexGeometry.compute(schema, ["a", "b"],
+                                         stats.nrows)
+        covering = cost_index_only_scan(stats, geometry, PARAMS)
+        seek = cost_index_seek(stats, geometry, 1e-5, True, 1.0, PARAMS)
+        assert seek.total(PARAMS) < covering.total(PARAMS)
+
+    def test_uncovered_seek_pays_heap_fetches(self, stats, schema):
+        geometry = IndexGeometry.compute(schema, ["a"], stats.nrows)
+        covered = cost_index_seek(stats, geometry, 0.001, True, 1.0,
+                                  PARAMS)
+        uncovered = cost_index_seek(stats, geometry, 0.001, False, 1.0,
+                                    PARAMS)
+        assert uncovered.total(PARAMS) > covered.total(PARAMS)
+
+    def test_unselective_uncovered_seek_degrades_gracefully(
+            self, stats, schema):
+        # Heap fetches are capped by the table size: a bad seek never
+        # costs unboundedly more than scanning everything.
+        geometry = IndexGeometry.compute(schema, ["a"], stats.nrows)
+        seek = cost_index_seek(stats, geometry, 0.9, False, 1.0, PARAMS)
+        scan = cost_full_scan(stats, PARAMS)
+        assert seek.page_reads <= 2.5 * scan.page_reads
+
+
+class TestTransitionCosts:
+    def test_build_cost_scales_with_rows(self, schema):
+        def build_for(nrows):
+            table = HeapTable(schema, BufferManager())
+            table.bulk_load({c: np.arange(nrows) for c in "abcd"})
+            stats = TableStats.from_table(table)
+            geometry = IndexGeometry.compute(schema, ["a"], nrows)
+            return cost_build_index(stats, geometry, PARAMS).total(
+                PARAMS)
+        assert build_for(50_000) > 8 * build_for(5_000)
+
+    def test_drop_is_cheap(self, stats, schema):
+        geometry = IndexGeometry.compute(schema, ["a"], stats.nrows)
+        build = cost_build_index(stats, geometry, PARAMS)
+        drop = cost_drop_index(PARAMS)
+        assert drop.total(PARAMS) < build.total(PARAMS) / 10
+
+    def test_build_reads_the_heap_once(self, stats, schema):
+        geometry = IndexGeometry.compute(schema, ["a"], stats.nrows)
+        build = cost_build_index(stats, geometry, PARAMS)
+        assert build.page_reads == stats.n_pages
+        assert build.page_writes == geometry.total_pages
+
+
+class TestDmlCosts:
+    def test_insert_cost_grows_with_index_count(self, stats):
+        no_ix = cost_insert(stats, 0, PARAMS)
+        three_ix = cost_insert(stats, 3, PARAMS)
+        assert three_ix.total(PARAMS) > no_ix.total(PARAMS)

@@ -1,0 +1,114 @@
+"""Tests for GROUP BY (single column, with aggregates)."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError, SqlUnsupportedError
+from repro.sqlengine import Database
+from repro.sqlengine.sql import parse
+
+
+@pytest.fixture(scope="module")
+def db():
+    db = Database()
+    db.create_table("t", [("a", "INTEGER"), ("b", "INTEGER")])
+    rng = np.random.default_rng(6)
+    db.bulk_load("t", {"a": rng.integers(0, 6, 3000),
+                       "b": rng.integers(0, 500, 3000)})
+    db.execute("CREATE INDEX ix_a ON t (a)")
+    return db
+
+
+@pytest.fixture(scope="module")
+def arrays(db):
+    return {c: db.table("t").column_array(c).copy() for c in "ab"}
+
+
+class TestParsing:
+    def test_group_by_with_group_column_selected(self):
+        stmt = parse("SELECT a, COUNT(*) FROM t GROUP BY a")
+        assert stmt.group_by == "a"
+        assert len(stmt.aggregates) == 1
+
+    def test_group_by_without_selected_group_column(self):
+        stmt = parse("SELECT COUNT(*) FROM t GROUP BY a")
+        assert stmt.group_by == "a"
+
+    def test_wrong_plain_column_rejected(self):
+        with pytest.raises(SqlUnsupportedError):
+            parse("SELECT b, COUNT(*) FROM t GROUP BY a")
+
+    def test_group_by_without_aggregates_rejected(self):
+        with pytest.raises(SqlUnsupportedError):
+            parse("SELECT a FROM t GROUP BY a")
+
+    def test_order_by_non_group_column_rejected(self):
+        with pytest.raises(SqlUnsupportedError):
+            parse("SELECT a, COUNT(*) FROM t GROUP BY a ORDER BY b")
+
+    def test_sql_round_trip(self):
+        sql = ("SELECT a, COUNT(*), SUM(b) FROM t WHERE b > 9 "
+               "GROUP BY a ORDER BY a DESC LIMIT 3")
+        assert parse(parse(sql).sql()) == parse(sql)
+
+
+class TestExecution:
+    def test_group_counts(self, db, arrays):
+        got = db.query("SELECT a, COUNT(*) FROM t GROUP BY a")
+        want = sorted(Counter(int(x) for x in arrays["a"]).items())
+        assert got == want
+
+    def test_groups_sorted_ascending_by_default(self, db):
+        got = db.query("SELECT a, COUNT(*) FROM t GROUP BY a")
+        keys = [row[0] for row in got]
+        assert keys == sorted(keys)
+
+    def test_order_by_group_desc(self, db):
+        got = db.query(
+            "SELECT a, COUNT(*) FROM t GROUP BY a ORDER BY a DESC")
+        keys = [row[0] for row in got]
+        assert keys == sorted(keys, reverse=True)
+
+    def test_multiple_aggregates_per_group(self, db, arrays):
+        got = db.query(
+            "SELECT a, MIN(b), MAX(b), AVG(b) FROM t GROUP BY a")
+        for value, low, high, mean in got:
+            group = arrays["b"][arrays["a"] == value]
+            assert low == int(group.min())
+            assert high == int(group.max())
+            assert mean == pytest.approx(float(group.mean()))
+
+    def test_predicate_filters_before_grouping(self, db, arrays):
+        got = db.query(
+            "SELECT a, COUNT(*) FROM t WHERE b < 50 GROUP BY a")
+        mask = arrays["b"] < 50
+        want = sorted(Counter(int(x)
+                              for x in arrays["a"][mask]).items())
+        assert got == want
+
+    def test_empty_groups_absent(self, db):
+        got = db.query(
+            "SELECT a, COUNT(*) FROM t WHERE b = 999999 GROUP BY a")
+        assert got == []
+
+    def test_limit_truncates_groups(self, db):
+        got = db.query("SELECT a, COUNT(*) FROM t GROUP BY a LIMIT 2")
+        assert [row[0] for row in got] == [0, 1]
+
+    def test_unknown_group_column_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.execute("SELECT COUNT(*) FROM t GROUP BY zz")
+
+    def test_group_by_indexed_column_matches_scan(self, db, arrays):
+        # Both execution paths must fold identically.
+        via_index = db.query(
+            "SELECT a, SUM(b) FROM t WHERE a BETWEEN 1 AND 4 "
+            "GROUP BY a")
+        want = []
+        for value in range(1, 5):
+            group = arrays["b"][arrays["a"] == value]
+            if len(group):
+                want.append((value, int(group.sum())))
+        assert via_index == want

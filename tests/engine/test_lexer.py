@@ -1,0 +1,74 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sqlengine.sql.lexer import Token, tokenize
+
+
+def kinds(sql):
+    return [t.kind for t in tokenize(sql)]
+
+
+def texts(sql):
+    return [t.text for t in tokenize(sql)[:-1]]
+
+
+class TestTokens:
+    def test_keywords_uppercased(self):
+        assert texts("select from Where") == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_keep_case(self):
+        tokens = tokenize("myTable")
+        assert tokens[0] == Token("IDENT", "myTable", 0)
+
+    def test_numbers(self):
+        assert texts("42 3.14 1e5 -7") == ["42", "3.14", "1e5", "-7"]
+
+    def test_negative_exponent(self):
+        assert texts("2.5e-3") == ["2.5e-3"]
+
+    def test_string_literal(self):
+        tokens = tokenize("'hello world'")
+        assert tokens[0].kind == "STRING"
+        assert tokens[0].text == "hello world"
+
+    def test_string_escape_doubled_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].text == "it's"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_symbols(self):
+        assert texts("( ) , * ; = < > <= >= !=") == \
+            ["(", ")", ",", "*", ";", "=", "<", ">", "<=", ">=", "!="]
+
+    def test_not_equal_alias(self):
+        assert texts("a <> 1") == ["a", "!=", "1"]
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(SqlSyntaxError) as exc:
+            tokenize("a @ b")
+        assert exc.value.position == 2
+
+    def test_eof_token_terminates(self):
+        assert kinds("a")[-1] == "EOF"
+
+    def test_line_comment_skipped(self):
+        assert texts("a -- comment here\n b") == ["a", "b"]
+
+    def test_comment_at_end(self):
+        assert texts("a -- no newline") == ["a"]
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab  cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 4
+
+    def test_underscored_identifier(self):
+        assert texts("a_b_c") == ["a_b_c"]
+
+    def test_whitespace_only(self):
+        assert kinds("   \n\t ") == ["EOF"]

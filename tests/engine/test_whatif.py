@@ -1,0 +1,141 @@
+"""Unit tests for the what-if optimizer."""
+
+import pytest
+
+from repro.errors import CatalogError, SqlUnsupportedError
+from repro.sqlengine import IndexDef
+from repro.sqlengine.sql import parse
+
+A = IndexDef("t", ("a",))
+B = IndexDef("t", ("b",))
+AB = IndexDef("t", ("a", "b"))
+
+
+@pytest.fixture(scope="module")
+def what_if(small_db):
+    return small_db.what_if()
+
+
+class TestExecEstimates:
+    def test_empty_config_scans(self, what_if):
+        est = what_if.estimate_statement(
+            parse("SELECT a FROM t WHERE a = 5"), frozenset())
+        assert est.access_path.kind == "full_scan"
+
+    def test_hypothetical_index_enables_seek(self, what_if):
+        est = what_if.estimate_statement(
+            parse("SELECT a FROM t WHERE a = 5"), {A})
+        assert est.access_path.kind == "index_seek"
+        assert est.access_path.index == A
+
+    def test_index_never_hurts(self, what_if):
+        queries = ["SELECT a FROM t WHERE a = 5",
+                   "SELECT b FROM t WHERE b = 5",
+                   "SELECT c FROM t WHERE c BETWEEN 5 AND 500"]
+        for sql in queries:
+            stmt = parse(sql)
+            base = what_if.estimate_statement(stmt, frozenset()).units
+            with_ix = what_if.estimate_statement(stmt, {A, AB}).units
+            assert with_ix <= base + 1e-9, sql
+
+    def test_irrelevant_index_changes_nothing(self, what_if):
+        stmt = parse("SELECT c FROM t WHERE c = 5")
+        base = what_if.estimate_statement(stmt, frozenset()).units
+        with_a = what_if.estimate_statement(stmt, {A}).units
+        assert with_a == pytest.approx(base)
+
+    def test_covering_scan_effect(self, what_if):
+        # The Table-2-critical ordering: for b-queries,
+        # seek(I(b)) < covering-scan(I(a,b)) < heap scan.
+        stmt = parse("SELECT b FROM t WHERE b = 250000")
+        heap = what_if.estimate_statement(stmt, frozenset()).units
+        cover = what_if.estimate_statement(stmt, {AB}).units
+        seek = what_if.estimate_statement(stmt, {B}).units
+        assert seek < cover < heap
+
+    def test_float_conversion(self, what_if):
+        est = what_if.estimate_statement(
+            parse("SELECT a FROM t"), frozenset())
+        assert float(est) == est.units
+
+    def test_insert_estimate_grows_with_indexes(self, what_if):
+        stmt = parse("INSERT INTO t (a, b, c, d) VALUES (1, 2, 3, 4)")
+        bare = what_if.estimate_statement(stmt, frozenset()).units
+        indexed = what_if.estimate_statement(stmt, {A, B, AB}).units
+        assert indexed > bare
+
+    def test_update_estimate_uses_where(self, what_if):
+        narrow = what_if.estimate_statement(
+            parse("UPDATE t SET b = 1 WHERE a = 250000"), {A}).units
+        wide = what_if.estimate_statement(
+            parse("UPDATE t SET b = 1 WHERE a > 0"), {A}).units
+        assert narrow < wide
+
+    def test_delete_estimate(self, what_if):
+        est = what_if.estimate_statement(
+            parse("DELETE FROM t WHERE a = 250000"), {A})
+        assert est.units > 0
+
+    def test_unsupported_statement_raises(self, what_if):
+        with pytest.raises(SqlUnsupportedError):
+            what_if.estimate_statement(
+                parse("CREATE INDEX ix ON t (a)"), frozenset())
+
+    def test_unknown_table_raises(self, what_if):
+        with pytest.raises(CatalogError):
+            what_if.estimate_statement(
+                parse("SELECT x FROM missing WHERE x = 1"), frozenset())
+
+
+class TestTransAndSize:
+    def test_trans_same_config_is_zero(self, what_if):
+        assert what_if.transition_units({A}, {A}) == 0.0
+
+    def test_trans_build_dominates_drop(self, what_if):
+        # Build scans + writes the whole structure; drop is a catalog
+        # operation with constant cost.
+        build = what_if.transition_units(set(), {A})
+        drop = what_if.transition_units({A}, set())
+        assert build > 3 * drop
+
+    def test_trans_swap_charges_both(self, what_if):
+        swap = what_if.transition_units({A}, {B})
+        build = what_if.transition_units(set(), {B})
+        drop = what_if.transition_units({A}, set())
+        assert swap == pytest.approx(build + drop)
+
+    def test_trans_is_asymmetric(self, what_if):
+        assert what_if.transition_units(set(), {A}) != \
+            what_if.transition_units({A}, set())
+
+    def test_size_of_empty_config(self, what_if):
+        assert what_if.configuration_size_bytes(set()) == 0
+
+    def test_size_additive_over_indexes(self, what_if):
+        combined = what_if.configuration_size_bytes({A, B})
+        assert combined == what_if.index_size_bytes(A) + \
+            what_if.index_size_bytes(B)
+
+    def test_wider_index_is_larger(self, what_if):
+        assert what_if.index_size_bytes(AB) > what_if.index_size_bytes(A)
+
+
+class TestConsistencyWithExecution:
+    def test_estimate_matches_metered_seek(self, small_db):
+        """What-if estimates and real executions share path + scale."""
+        db = small_db
+        what_if = db.what_if()
+        estimate = what_if.estimate_statement(
+            parse("SELECT a FROM t WHERE a = 250000"), {A})
+        created = db.find_index(A) is None
+        if created:
+            db.create_index(A)
+        try:
+            result = db.execute("SELECT a FROM t WHERE a = 250000")
+            assert result.access_path.kind == \
+                estimate.access_path.kind == "index_seek"
+            # Same order of magnitude (both are a descent + few pages).
+            assert result.units(db.params) < 10 * (estimate.units + 1)
+        finally:
+            if created:
+                db.drop_index(db.find_index(A).name)

@@ -1,0 +1,69 @@
+"""Behavioral tests for the buffer pool under real workloads.
+
+Cost units are *logical* page touches (deterministic), but the pool
+also meters physical I/O; these tests pin the physical-side behavior:
+bigger pools absorb more of a repetitive workload, and repeated point
+queries become cache hits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sqlengine import CostParams, Database, IndexDef
+
+
+def make_db(capacity_pages):
+    db = Database(params=CostParams(),
+                  buffer_capacity_pages=capacity_pages)
+    db.create_table("t", [("a", "INTEGER"), ("b", "INTEGER")])
+    rng = np.random.default_rng(0)
+    db.bulk_load("t", {"a": rng.integers(0, 500, 30_000),
+                       "b": rng.integers(0, 500, 30_000)})
+    return db
+
+
+def physical_reads_for(db, sqls):
+    db.buffer_manager.reset_metrics()
+    for sql in sqls:
+        db.execute(sql)
+    return db.buffer_manager.metrics.physical_reads
+
+
+class TestPoolSizeEffect:
+    def test_larger_pool_absorbs_repeated_scans(self):
+        queries = ["SELECT b FROM t WHERE b = %d" % v
+                   for v in (1, 2, 3)] * 5
+        small = make_db(capacity_pages=8)
+        large = make_db(capacity_pages=4096)
+        assert physical_reads_for(large, queries) < \
+            physical_reads_for(small, queries)
+
+    def test_repeated_seeks_hit_the_cache(self):
+        db = make_db(capacity_pages=4096)
+        db.execute("CREATE INDEX ix_a ON t (a)")
+        sql = "SELECT a FROM t WHERE a = 42"
+        db.execute(sql)  # warm
+        db.buffer_manager.reset_metrics()
+        db.execute(sql)
+        metrics = db.buffer_manager.metrics
+        assert metrics.physical_reads == 0
+        assert metrics.logical_reads > 0
+
+    def test_logical_reads_are_pool_independent(self):
+        """The cost-unit basis must not depend on pool history."""
+        sql = "SELECT b FROM t WHERE b = 7"
+        small = make_db(capacity_pages=8)
+        large = make_db(capacity_pages=4096)
+        r_small = small.execute(sql)
+        r_large = large.execute(sql)
+        assert r_small.units(small.params) == pytest.approx(
+            r_large.units(large.params))
+
+    def test_index_build_then_drop_invalidates_cache(self):
+        db = make_db(capacity_pages=4096)
+        index = db.create_index(IndexDef("t", ("a",)))
+        object_id = index.object_id
+        db.drop_index(index.name)
+        # No pages of the dropped object remain cached.
+        assert all(pid[0] != object_id
+                   for pid in db.buffer_manager._lru)

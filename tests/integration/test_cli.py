@@ -1,0 +1,106 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "w1.jsonl"
+    code = main(["workload", "--name", "W1", "--block-size", "40",
+                 "--out", str(path)])
+    assert code == 0
+    return path
+
+
+class TestWorkloadCommand:
+    def test_writes_trace(self, trace_path, capsys):
+        assert trace_path.exists()
+        from repro.workload import load_trace
+        workload = load_trace(trace_path)
+        assert len(workload) == 1200
+        assert workload.name == "W1"
+
+    def test_other_workloads(self, tmp_path, capsys):
+        out = tmp_path / "w3.jsonl"
+        assert main(["workload", "--name", "W3", "--block-size", "10",
+                     "--out", str(out)]) == 0
+        assert "300 statements of W3" in capsys.readouterr().out
+
+
+class TestAnalyzeCommand:
+    def test_detects_shifts_and_k(self, trace_path, capsys):
+        assert main(["analyze", "--trace", str(trace_path),
+                     "--block-size", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "major shifts at blocks: [10, 20]" in out
+        assert "suggested change budget: k = 2" in out
+
+    def test_missing_trace_fails_cleanly(self, capsys, tmp_path):
+        code = main(["analyze", "--trace",
+                     str(tmp_path / "nope.jsonl")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRecommendCommand:
+    def test_auto_k_recommends_paper_design(self, trace_path, capsys):
+        assert main(["recommend", "--trace", str(trace_path),
+                     "--block-size", "40", "--rows", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "detected k = 2" in out
+        assert "{I(a,b)}" in out and "{I(c,d)}" in out
+        assert "changes=2" in out
+
+    def test_explicit_k_and_advisor(self, trace_path, capsys):
+        assert main(["recommend", "--trace", str(trace_path),
+                     "--block-size", "40", "--rows", "20000",
+                     "--k", "1", "--advisor", "merging"]) == 0
+        out = capsys.readouterr().out
+        assert "merging:" in out
+        assert "changes=1" in out or "changes=0" in out
+
+    def test_unconstrained_advisor(self, trace_path, capsys):
+        assert main(["recommend", "--trace", str(trace_path),
+                     "--block-size", "40", "--rows", "20000",
+                     "--advisor", "unconstrained"]) == 0
+        out = capsys.readouterr().out
+        assert "unconstrained:" in out
+
+    def test_empty_trace_is_an_error(self, tmp_path, capsys):
+        from repro.workload import Workload, save_trace, Statement
+        path = tmp_path / "ddl.jsonl"
+        save_trace(Workload([Statement("DELETE FROM t")]), path)
+        code = main(["recommend", "--trace", str(path)])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExperimentCommand:
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "Query Mix A" in capsys.readouterr().out
+
+    def test_table2_small(self, capsys):
+        assert main(["experiment", "table2", "--rows", "10000",
+                     "--block-size", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "k=inf" in out and "I(" in out
+
+    def test_figure4_small(self, capsys):
+        assert main(["experiment", "figure4", "--rows", "10000",
+                     "--block-size", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out and "k-aware graph" in out
+
+
+class TestTopLevel:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage:" in capsys.readouterr().out
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0

@@ -1,0 +1,58 @@
+"""The example scripts must run end to end and print their punchlines."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, timeout=300):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "loaded 50000 rows" in out
+    assert "unconstrained:" in out and "kaware:" in out
+    assert "less overfit" in out
+
+
+def test_whatif_explorer():
+    out = run_example("whatif_explorer.py")
+    assert "EXEC(S, C)" in out
+    assert "TRANS(C1, C2)" in out
+    assert "same path, same scale" in out
+
+
+def test_advisor_comparison():
+    out = run_example("advisor_comparison.py")
+    for advisor in ("unconstrained", "static", "kaware", "merging",
+                    "ranking", "hybrid", "greedy-seq"):
+        assert advisor in out
+    assert "Optimal constrained cost" in out
+
+
+def test_daily_trace_advisor():
+    out = run_example("daily_trace_advisor.py")
+    assert "captured Monday's trace" in out
+    assert "Tuesday arrives" in out
+    assert "faster than the overfit one" in out
+
+
+def test_choosing_k():
+    out = run_example("choosing_k.py")
+    assert "knee of the curve: k = 2" in out
+    assert "validated choice: k = 2" in out
+
+
+def test_ecommerce_week():
+    out = run_example("ecommerce_week.py", timeout=420)
+    assert "detected 1 sustained shift(s)" in out
+    assert "cheaper than the best static design" in out

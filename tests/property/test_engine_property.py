@@ -1,0 +1,168 @@
+"""Property-based tests: the executor against a brute-force oracle,
+under arbitrary physical designs.
+
+The central invariant of the whole system: *physical design never
+changes query results* — only their cost. Every random query must
+return identical rows under every random configuration.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sqlengine import Database, IndexDef
+
+COLUMNS = ("a", "b", "c", "d")
+N_ROWS = 800
+DOMAIN = 40  # small domain -> plenty of duplicates and matches
+
+
+def _build_db():
+    db = Database()
+    db.create_table("t", [(c, "INTEGER") for c in COLUMNS])
+    rng = np.random.default_rng(2024)
+    db.bulk_load("t", {c: rng.integers(0, DOMAIN, N_ROWS)
+                       for c in COLUMNS})
+    return db
+
+
+_DB = _build_db()
+_ARRAYS = {c: _DB.table("t").column_array(c).copy() for c in COLUMNS}
+
+ALL_INDEXES = [IndexDef("t", ("a",)), IndexDef("t", ("b",)),
+               IndexDef("t", ("a", "b")), IndexDef("t", ("c", "d")),
+               IndexDef("t", ("d", "a"))]
+
+columns_st = st.sampled_from(COLUMNS)
+values_st = st.integers(-5, DOMAIN + 5)
+predicate_st = st.one_of(
+    st.tuples(st.just("="), columns_st, values_st),
+    st.tuples(st.just("<"), columns_st, values_st),
+    st.tuples(st.just(">="), columns_st, values_st),
+    st.tuples(st.just("!="), columns_st, values_st),
+    st.tuples(st.just("between"), columns_st, values_st, values_st),
+)
+config_st = st.sets(st.sampled_from(ALL_INDEXES), max_size=3)
+
+
+def build_sql(select_columns, predicates):
+    sql = f"SELECT {', '.join(select_columns)} FROM t"
+    clauses = []
+    for predicate in predicates:
+        if predicate[0] == "between":
+            _, column, lo, hi = predicate
+            lo, hi = min(lo, hi), max(lo, hi)
+            clauses.append(f"{column} BETWEEN {lo} AND {hi}")
+        else:
+            op, column, value = predicate
+            clauses.append(f"{column} {op} {value}")
+    if clauses:
+        sql += " WHERE " + " AND ".join(clauses)
+    return sql
+
+
+def oracle_rows(select_columns, predicates):
+    mask = np.ones(N_ROWS, dtype=bool)
+    for predicate in predicates:
+        if predicate[0] == "between":
+            _, column, lo, hi = predicate
+            lo, hi = min(lo, hi), max(lo, hi)
+            mask &= (_ARRAYS[column] >= lo) & (_ARRAYS[column] <= hi)
+        else:
+            op, column, value = predicate
+            data = _ARRAYS[column]
+            mask &= {"=": data == value, "<": data < value,
+                     ">=": data >= value, "!=": data != value}[op]
+        if not mask.any():
+            break
+    rids = np.nonzero(mask)[0]
+    return sorted(tuple(int(_ARRAYS[c][r]) for c in select_columns)
+                  for r in rids)
+
+
+@given(select_columns=st.lists(columns_st, min_size=1, max_size=3,
+                               unique=True),
+       predicates=st.lists(predicate_st, max_size=3),
+       config=config_st)
+@settings(max_examples=120, deadline=None)
+def test_results_invariant_under_physical_design(select_columns,
+                                                 predicates, config):
+    _DB.apply_configuration(config)
+    sql = build_sql(select_columns, predicates)
+    result = _DB.execute(sql)
+    got = sorted(tuple(int(v) for v in row) for row in result.rows)
+    assert got == oracle_rows(select_columns, predicates), (
+        f"{sql} under {sorted(d.label for d in config)} "
+        f"(path: {result.access_path.kind})")
+
+
+@given(predicates=st.lists(predicate_st, min_size=1, max_size=2),
+       config=config_st)
+@settings(max_examples=60, deadline=None)
+def test_estimates_positive_and_finite(predicates, config):
+    from repro.sqlengine.sql import parse
+    what_if = _DB.what_if()
+    sql = build_sql(["a"], predicates)
+    estimate = what_if.estimate_statement(parse(sql), config)
+    assert np.isfinite(estimate.units)
+    assert estimate.units > 0
+
+
+@given(config=config_st)
+@settings(max_examples=30, deadline=None)
+def test_configuration_size_additive(config):
+    what_if = _DB.what_if()
+    total = what_if.configuration_size_bytes(config)
+    assert total == sum(what_if.index_size_bytes(d) for d in config)
+
+
+@given(predicates=st.lists(predicate_st, min_size=1, max_size=2),
+       config=config_st)
+@settings(max_examples=60, deadline=None)
+def test_whatif_and_executor_choose_the_same_plan(predicates, config):
+    """The what-if optimizer and the executor share the planner, so
+    the estimated plan kind must match what actually runs."""
+    from repro.sqlengine.sql import parse
+    sql = build_sql(["a", "b"], predicates)
+    stmt = parse(sql)
+    estimate = _DB.what_if().estimate_statement(stmt, config)
+    _DB.apply_configuration(config)
+    result = _DB.execute(stmt)
+    if result.access_path is None:
+        return  # contradiction shortcut: nothing planned
+    assert result.access_path.kind == estimate.access_path.kind, sql
+    if result.access_path.kind == "index_seek":
+        assert result.access_path.index == estimate.access_path.index
+
+
+@given(predicates=st.lists(predicate_st, max_size=2),
+       order_column=columns_st, descending=st.booleans(),
+       config=config_st)
+@settings(max_examples=80, deadline=None)
+def test_order_by_is_correct_under_any_design(predicates,
+                                              order_column,
+                                              descending, config):
+    """ORDER BY must deliver a correctly sorted multiset regardless of
+    whether an index provides the order or a sort is needed."""
+    _DB.apply_configuration(config)
+    sql = build_sql([order_column, "d"], predicates)
+    sql += f" ORDER BY {order_column}{' DESC' if descending else ''}"
+    result = _DB.execute(sql)
+    got = [tuple(int(v) for v in row) for row in result.rows]
+    keys = [row[0] for row in got]
+    assert keys == sorted(keys, reverse=descending), sql
+    want = oracle_rows([order_column, "d"], predicates)
+    assert sorted(got) == want, sql
+
+
+@given(predicates=st.lists(predicate_st, min_size=1, max_size=2),
+       config=config_st)
+@settings(max_examples=40, deadline=None)
+def test_adding_structures_never_increases_estimates(predicates,
+                                                     config):
+    from repro.sqlengine.sql import parse
+    stmt = parse(build_sql(["a"], predicates))
+    what_if = _DB.what_if()
+    bare = what_if.estimate_statement(stmt, set()).units
+    enriched = what_if.estimate_statement(stmt, config).units
+    assert enriched <= bare + 1e-9

@@ -1,0 +1,91 @@
+"""Property-based tests for equi-depth histograms and selectivities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.sqlengine.stats import ColumnStats, EquiDepthHistogram
+
+arrays_st = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 400),
+    elements=st.floats(-1e6, 1e6, allow_nan=False,
+                       allow_infinity=False))
+
+
+@given(values=arrays_st, probe=st.floats(-2e6, 2e6, allow_nan=False))
+@settings(max_examples=80, deadline=None)
+def test_fraction_below_is_a_cdf(values, probe):
+    hist = EquiDepthHistogram.from_array(values)
+    fraction = hist.fraction_below(probe, inclusive=True)
+    assert 0.0 <= fraction <= 1.0
+
+
+@given(values=arrays_st,
+       a=st.floats(-2e6, 2e6, allow_nan=False),
+       b=st.floats(-2e6, 2e6, allow_nan=False))
+@settings(max_examples=80, deadline=None)
+def test_fraction_below_monotone(values, a, b):
+    hist = EquiDepthHistogram.from_array(values)
+    lo, hi = min(a, b), max(a, b)
+    assert hist.fraction_below(lo, True) <= \
+        hist.fraction_below(hi, True) + 1e-12
+
+
+@given(values=arrays_st,
+       a=st.floats(-2e6, 2e6, allow_nan=False),
+       b=st.floats(-2e6, 2e6, allow_nan=False))
+@settings(max_examples=80, deadline=None)
+def test_range_selectivity_bounded(values, a, b):
+    hist = EquiDepthHistogram.from_array(values)
+    lo, hi = min(a, b), max(a, b)
+    sel = hist.selectivity_range(lo, hi)
+    assert 0.0 <= sel <= 1.0
+
+
+@given(values=arrays_st)
+@settings(max_examples=60, deadline=None)
+def test_full_domain_selectivity_is_one(values):
+    hist = EquiDepthHistogram.from_array(values)
+    assert hist.selectivity_range(None, None) == pytest.approx(1.0)
+    assert hist.selectivity_range(float(values.min()),
+                                  float(values.max())) == \
+        pytest.approx(1.0, abs=1e-6)
+
+
+@given(values=arrays_st)
+@settings(max_examples=60, deadline=None)
+def test_adjacent_ranges_sum_to_whole(values):
+    hist = EquiDepthHistogram.from_array(values)
+    mid = float(np.median(values))
+    left = hist.selectivity_range(None, mid, hi_inclusive=False)
+    right = hist.selectivity_range(mid, None, lo_inclusive=True)
+    assert left + right == pytest.approx(1.0, abs=1e-6)
+
+
+@given(values=hnp.arrays(dtype=np.int64, shape=st.integers(1, 300),
+                         elements=st.integers(0, 1000)))
+@settings(max_examples=60, deadline=None)
+def test_range_estimate_tracks_true_fraction(values):
+    """The estimator must be within one bucket-width of the truth on
+    the data it was built from."""
+    stats = ColumnStats.from_array("x", values)
+    lo, hi = 200, 700
+    estimate = stats.selectivity_range(lo, hi)
+    true = float(np.mean((values >= lo) & (values <= hi)))
+    tolerance = 2.0 / (stats.histogram.n_buckets if stats.histogram
+                       else 1) + 0.02
+    assert abs(estimate - true) <= tolerance + 0.05
+
+
+@given(values=hnp.arrays(dtype=np.int64, shape=st.integers(1, 300),
+                         elements=st.integers(0, 50)),
+       probe=st.integers(0, 50))
+@settings(max_examples=60, deadline=None)
+def test_eq_selectivity_bounded_by_domain(values, probe):
+    stats = ColumnStats.from_array("x", values)
+    sel = stats.selectivity_eq(probe)
+    assert 0.0 <= sel <= 1.0
+    if stats.n_distinct:
+        assert sel in (0.0, pytest.approx(1.0 / stats.n_distinct))

@@ -1,0 +1,97 @@
+"""Unit tests for workload analysis (profiles, shifts, k suggestion)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload import (Statement, Workload, block_profiles,
+                            detect_shifts, make_paper_workload,
+                            paper_generator, suggest_k)
+from repro.workload.analysis import BlockProfile
+
+
+@pytest.fixture(scope="module")
+def w1():
+    return make_paper_workload("W1", paper_generator(seed=3),
+                               block_size=100)
+
+
+class TestBlockProfiles:
+    def test_one_profile_per_block(self, w1):
+        profiles = block_profiles(w1, 100)
+        assert len(profiles) == 30
+        assert [p.block_index for p in profiles] == list(range(30))
+
+    def test_frequencies_sum_to_one(self, w1):
+        for profile in block_profiles(w1, 100):
+            assert sum(profile.frequencies.values()) == \
+                pytest.approx(1.0)
+
+    def test_mix_a_block_profile(self, w1):
+        # First W1 block is mix A: ~55% a, ~25% b.
+        profile = block_profiles(w1, 100)[0]
+        assert profile.frequencies["a"] == pytest.approx(0.55,
+                                                         abs=0.15)
+        assert profile.frequencies.get("c", 0) < 0.3
+
+    def test_non_point_statements_bucketed(self):
+        workload = Workload([Statement("DELETE FROM t WHERE a = 1"),
+                             Statement("SELECT a FROM t WHERE a = 1")])
+        profile = block_profiles(workload, 2)[0]
+        assert profile.frequencies["<other>"] == pytest.approx(0.5)
+
+    def test_zero_block_size_raises(self, w1):
+        with pytest.raises(WorkloadError):
+            block_profiles(w1, 0)
+
+
+class TestProfileDistance:
+    def test_identical_profiles_distance_zero(self):
+        p = BlockProfile(0, {"a": 0.5, "b": 0.5})
+        assert p.distance(p) == 0.0
+
+    def test_disjoint_profiles_distance_one(self):
+        p1 = BlockProfile(0, {"a": 1.0})
+        p2 = BlockProfile(1, {"b": 1.0})
+        assert p1.distance(p2) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        p1 = BlockProfile(0, {"a": 0.7, "b": 0.3})
+        p2 = BlockProfile(1, {"a": 0.2, "b": 0.8})
+        assert p1.distance(p2) == pytest.approx(p2.distance(p1))
+
+
+class TestDetectShifts:
+    @pytest.mark.parametrize("name", ["W1", "W2", "W3"])
+    def test_two_major_shifts_on_paper_workloads(self, name):
+        workload = make_paper_workload(name, paper_generator(seed=3),
+                                       block_size=100)
+        report = detect_shifts(workload, 100)
+        assert report.major_shifts == (10, 20), name
+        assert report.suggested_k == 2
+
+    def test_minor_shifts_not_counted_as_major(self, w1):
+        report = detect_shifts(w1, 100)
+        # W1 has 12 minor boundaries (A<->B and C<->D alternations).
+        assert len(report.minor_shifts) >= 10
+        assert set(report.major_shifts).isdisjoint(
+            report.minor_shifts)
+
+    def test_stable_workload_has_no_shifts(self):
+        from repro.workload import QueryMix, PointQueryGenerator, \
+            workload_from_block_mixes
+        generator = PointQueryGenerator("t", {"a": (0, 100),
+                                              "b": (0, 100)}, seed=0)
+        mix = QueryMix("M", {"a": 0.6, "b": 0.4})
+        workload = workload_from_block_mixes(generator, [mix] * 10,
+                                             block_size=50)
+        report = detect_shifts(workload, 50)
+        assert report.major_shifts == ()
+        assert report.suggested_k == 0
+
+
+class TestSuggestK:
+    def test_matches_paper_choice_for_w1(self, w1):
+        assert suggest_k(w1, 100) == 2
+
+    def test_slack_adds_headroom(self, w1):
+        assert suggest_k(w1, 100, slack=1) == 3

@@ -1,0 +1,91 @@
+"""Tests for the paper's Table-1 mixes and Table-2 workloads."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload import (PAPER_MIXES, PAPER_WORKLOAD_BLOCKS,
+                            W1_MAJOR_SHIFT_BLOCKS, block_labels,
+                            make_paper_workload, paper_generator)
+
+
+class TestTable1Mixes:
+    def test_four_mixes(self):
+        assert set(PAPER_MIXES) == {"A", "B", "C", "D"}
+
+    @pytest.mark.parametrize("name,column,weight", [
+        ("A", "a", 0.55), ("A", "b", 0.25), ("A", "c", 0.10),
+        ("B", "b", 0.55), ("B", "a", 0.25),
+        ("C", "c", 0.55), ("C", "d", 0.25),
+        ("D", "d", 0.55), ("D", "c", 0.25),
+    ])
+    def test_declared_weights(self, name, column, weight):
+        assert PAPER_MIXES[name].weights[column] == weight
+
+    def test_all_weights_sum_to_one(self):
+        for mix in PAPER_MIXES.values():
+            assert sum(mix.weights.values()) == pytest.approx(1.0)
+
+
+class TestTable2BlockLayouts:
+    def test_thirty_blocks_each(self):
+        for blocks in PAPER_WORKLOAD_BLOCKS.values():
+            assert len(blocks) == 30
+
+    def test_w1_phase_structure(self):
+        blocks = block_labels("W1")
+        assert set(blocks[:10]) == {"A", "B"}
+        assert set(blocks[10:20]) == {"C", "D"}
+        assert set(blocks[20:]) == {"A", "B"}
+
+    def test_w1_minor_shift_period_is_two_blocks(self):
+        blocks = block_labels("W1")
+        assert blocks[:10] == ("A", "A", "B", "B", "A",
+                               "A", "B", "B", "A", "A")
+
+    def test_w2_alternates_every_block(self):
+        blocks = block_labels("W2")
+        assert blocks[:10] == ("A", "B") * 5
+        assert blocks[10:20] == ("C", "D") * 5
+
+    def test_w3_is_out_of_phase_with_w1(self):
+        w1, w3 = block_labels("W1"), block_labels("W3")
+        swap = {"A": "B", "B": "A", "C": "D", "D": "C"}
+        assert tuple(swap[b] for b in w1) == w3
+
+    def test_major_shifts_at_10_and_20(self):
+        assert W1_MAJOR_SHIFT_BLOCKS == (10, 20)
+        blocks = block_labels("W1")
+        for shift in W1_MAJOR_SHIFT_BLOCKS:
+            phase_before = {"A", "B"} if blocks[shift - 1] in "AB" \
+                else {"C", "D"}
+            assert blocks[shift] not in phase_before
+
+
+class TestMakePaperWorkload:
+    def test_length_scales_with_block_size(self):
+        workload = make_paper_workload("W1", block_size=20)
+        assert len(workload) == 600
+
+    def test_tags_follow_block_layout(self):
+        workload = make_paper_workload("W2", block_size=10)
+        labels = block_labels("W2")
+        for block in range(30):
+            tags = {s.tag for s in
+                    workload.statements[block * 10:(block + 1) * 10]}
+            assert tags == {labels[block]}
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(WorkloadError):
+            make_paper_workload("W9")
+        with pytest.raises(WorkloadError):
+            block_labels("W9")
+
+    def test_generator_controls_randomness(self):
+        w1 = make_paper_workload("W1", paper_generator(seed=1),
+                                 block_size=10)
+        w2 = make_paper_workload("W1", paper_generator(seed=1),
+                                 block_size=10)
+        assert [s.sql for s in w1] == [s.sql for s in w2]
+
+    def test_workload_name_recorded(self):
+        assert make_paper_workload("W3", block_size=5).name == "W3"

@@ -1,0 +1,142 @@
+"""Unit tests for workload perturbations."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload import (Statement, Workload, drop_and_duplicate,
+                            jitter_blocks, make_paper_workload,
+                            paper_generator, resample_values,
+                            resize_blocks, standard_variations)
+
+
+@pytest.fixture(scope="module")
+def w1():
+    return make_paper_workload("W1", paper_generator(seed=4),
+                               block_size=20)
+
+
+def queried_column(statement):
+    return statement.ast.where.predicates[0].column
+
+
+class TestResampleValues:
+    def test_same_columns_and_tags(self, w1):
+        varied = resample_values(w1, seed=9)
+        assert len(varied) == len(w1)
+        for original, new in zip(w1, varied):
+            assert queried_column(original) == queried_column(new)
+            assert original.tag == new.tag
+
+    def test_values_actually_change(self, w1):
+        varied = resample_values(w1, seed=9)
+        changed = sum(1 for o, n in zip(w1, varied) if o.sql != n.sql)
+        assert changed > len(w1) * 0.9
+
+    def test_deterministic(self, w1):
+        v1 = resample_values(w1, seed=9)
+        v2 = resample_values(w1, seed=9)
+        assert [s.sql for s in v1] == [s.sql for s in v2]
+
+    def test_values_stay_in_observed_range(self, w1):
+        varied = resample_values(w1, seed=9)
+        observed = {}
+        for statement in w1:
+            column = queried_column(statement)
+            value = statement.ast.where.predicates[0].value
+            lo, hi = observed.get(column, (value, value))
+            observed[column] = (min(lo, value), max(hi, value))
+        for statement in varied:
+            column = queried_column(statement)
+            value = statement.ast.where.predicates[0].value
+            lo, hi = observed[column]
+            assert lo <= value <= hi
+
+    def test_explicit_range(self, w1):
+        varied = resample_values(w1, seed=9, value_range=(0, 10))
+        for statement in varied:
+            assert 0 <= statement.ast.where.predicates[0].value <= 10
+
+    def test_non_point_statements_pass_through(self):
+        workload = Workload([Statement("DELETE FROM t WHERE a = 1"),
+                             Statement("SELECT a FROM t")])
+        varied = resample_values(workload, seed=1)
+        assert [s.sql for s in varied] == [s.sql for s in workload]
+
+    def test_derived_name(self, w1):
+        assert resample_values(w1, seed=0).name == "W1~values"
+
+
+class TestJitterBlocks:
+    def test_permutes_whole_blocks(self, w1):
+        varied = jitter_blocks(w1, block_size=20, seed=3)
+        assert len(varied) == len(w1)
+        assert sorted(s.sql for s in varied) == \
+            sorted(s.sql for s in w1)
+
+    def test_some_blocks_move(self, w1):
+        varied = jitter_blocks(w1, block_size=20, seed=3)
+        assert [s.sql for s in varied] != [s.sql for s in w1]
+
+    def test_zero_block_raises(self, w1):
+        with pytest.raises(WorkloadError):
+            jitter_blocks(w1, block_size=0, seed=1)
+
+    def test_phase_structure_survives_small_displacement(self, w1):
+        # Displacement 2 cannot pull phase-2 (C/D) blocks earlier than
+        # block 8, so the leading blocks stay pure phase-1.
+        varied = jitter_blocks(w1, block_size=20, seed=3,
+                               max_displacement=2)
+        leading_tags = {s.tag for s in varied.statements[:7 * 20]}
+        assert leading_tags <= {"A", "B"}
+
+
+class TestResizeBlocks:
+    def test_length_varies_but_bounded(self, w1):
+        varied = resize_blocks(w1, block_size=20, seed=5,
+                               min_factor=0.5, max_factor=1.5)
+        assert 0.4 * len(w1) <= len(varied) <= 1.6 * len(w1)
+
+    def test_statements_come_from_their_block(self, w1):
+        varied = resize_blocks(w1, block_size=20, seed=5)
+        originals = {s.sql for s in w1}
+        assert all(s.sql in originals for s in varied)
+
+    def test_bad_factors_raise(self, w1):
+        with pytest.raises(WorkloadError):
+            resize_blocks(w1, 20, seed=1, min_factor=0.0)
+        with pytest.raises(WorkloadError):
+            resize_blocks(w1, 20, seed=1, min_factor=2.0,
+                          max_factor=1.0)
+
+
+class TestDropAndDuplicate:
+    def test_length_roughly_preserved(self, w1):
+        varied = drop_and_duplicate(w1, seed=6, drop_fraction=0.1,
+                                    duplicate_fraction=0.1)
+        assert 0.75 * len(w1) <= len(varied) <= 1.25 * len(w1)
+
+    def test_excessive_fractions_raise(self, w1):
+        with pytest.raises(WorkloadError):
+            drop_and_duplicate(w1, seed=1, drop_fraction=0.7,
+                               duplicate_fraction=0.7)
+
+    def test_never_empty(self):
+        workload = Workload([Statement("SELECT a FROM t")])
+        varied = drop_and_duplicate(workload, seed=1,
+                                    drop_fraction=0.99,
+                                    duplicate_fraction=0.0)
+        assert len(varied) >= 1
+
+
+class TestStandardVariations:
+    def test_count_and_kinds(self, w1):
+        variants = standard_variations(w1, block_size=20, seed=0,
+                                       n_variants=4)
+        assert len(variants) == 4
+        names = [v.name for v in variants]
+        assert any("values" in n for n in names)
+        assert any("jitter" in n for n in names)
+
+    def test_all_same_length_as_trace(self, w1):
+        for variant in standard_variations(w1, 20, seed=0):
+            assert len(variant) == len(w1)

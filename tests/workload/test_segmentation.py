@@ -1,0 +1,75 @@
+"""Unit tests for workload segmentation."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload import (Statement, Workload, segment_by_count,
+                            segment_by_tag, segment_per_statement)
+
+
+@pytest.fixture
+def workload():
+    statements = []
+    for i, tag in enumerate("AABBBC"):
+        statements.append(
+            Statement(f"SELECT a FROM t WHERE a = {i}", tag=tag))
+    return Workload(statements)
+
+
+class TestSegmentByCount:
+    def test_even_split(self, workload):
+        segments = segment_by_count(workload, 2)
+        assert [len(s) for s in segments] == [2, 2, 2]
+        assert [s.start for s in segments] == [0, 2, 4]
+
+    def test_ragged_tail(self, workload):
+        segments = segment_by_count(workload, 4)
+        assert [len(s) for s in segments] == [4, 2]
+
+    def test_block_of_one(self, workload):
+        assert len(segment_by_count(workload, 1)) == 6
+
+    def test_zero_block_raises(self, workload):
+        with pytest.raises(WorkloadError):
+            segment_by_count(workload, 0)
+
+    def test_dominant_tag(self, workload):
+        segments = segment_by_count(workload, 3)
+        assert segments[0].tag == "A"
+        assert segments[1].tag == "B"
+
+    def test_end_property(self, workload):
+        segment = segment_by_count(workload, 4)[1]
+        assert segment.end == 6
+
+
+class TestSegmentByTag:
+    def test_runs(self, workload):
+        segments = segment_by_tag(workload)
+        assert [s.tag for s in segments] == ["A", "B", "C"]
+        assert [len(s) for s in segments] == [2, 3, 1]
+
+    def test_starts_align(self, workload):
+        segments = segment_by_tag(workload)
+        assert [s.start for s in segments] == [0, 2, 5]
+
+    def test_untagged_runs_merge(self):
+        workload = Workload([Statement("SELECT a FROM t")
+                             for _ in range(3)])
+        assert len(segment_by_tag(workload)) == 1
+
+
+class TestSegmentPerStatement:
+    def test_one_per_statement(self, workload):
+        segments = segment_per_statement(workload)
+        assert len(segments) == 6
+        assert all(len(s) == 1 for s in segments)
+        assert [s.tag for s in segments] == list("AABBBC")
+
+    def test_iteration_yields_statements(self, workload):
+        segment = segment_per_statement(workload)[0]
+        assert next(iter(segment)).sql.endswith("= 0")
+
+    def test_repr_shows_span(self, workload):
+        segment = segment_by_count(workload, 3)[1]
+        assert "[3:6]" in repr(segment)

@@ -1,0 +1,72 @@
+"""Unit tests for workload trace files."""
+
+import json
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload import (Statement, Workload, load_trace,
+                            make_paper_workload, save_trace)
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        workload = Workload([Statement("SELECT a FROM t WHERE a = 1",
+                                       tag="A"),
+                             Statement("SELECT b FROM t WHERE b = 2")],
+                            name="demo")
+        path = tmp_path / "trace.jsonl"
+        assert save_trace(workload, path) == 2
+        loaded = load_trace(path)
+        assert loaded.name == "demo"
+        assert [s.sql for s in loaded] == [s.sql for s in workload]
+        assert [s.tag for s in loaded] == ["A", None]
+
+    def test_paper_workload_round_trip(self, tmp_path):
+        workload = make_paper_workload("W1", block_size=10)
+        path = tmp_path / "w1.jsonl"
+        save_trace(workload, path)
+        loaded = load_trace(path)
+        assert len(loaded) == len(workload)
+        assert loaded.tag_counts() == workload.tag_counts()
+
+    def test_empty_workload(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        save_trace(Workload([], name="e"), path)
+        assert len(load_trace(path)) == 0
+
+
+class TestMalformedFiles:
+    def test_not_a_trace_file(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format": "something-else"}\n')
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format": "repro-trace", "version": 999}\n')
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_invalid_json_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"format": "repro-trace", "version": 1}\n{oops\n')
+        with pytest.raises(WorkloadError) as exc:
+            load_trace(path)
+        assert ":2:" in str(exc.value)
+
+    def test_record_missing_sql(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"format": "repro-trace", "version": 1}\n{"tag": "A"}\n')
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "ok.jsonl"
+        header = json.dumps({"format": "repro-trace", "version": 1})
+        path.write_text(header + "\n\n"
+                        '{"sql": "SELECT a FROM t"}\n')
+        assert len(load_trace(path)) == 1
