@@ -16,7 +16,8 @@ See ``examples/quickstart.py`` for the end-to-end flow.
 """
 
 from .core import (Advisor, Configuration, ConstrainedGraphAdvisor,
-                   CostMatrices, DesignSequence, EMPTY_CONFIGURATION,
+                   CostEstimationStats, CostMatrices, CostService,
+                   DesignSequence, EMPTY_CONFIGURATION,
                    GreedySeqAdvisor, HybridAdvisor, MatrixCostProvider,
                    MergingAdvisor, ProblemInstance, RankingAdvisor,
                    Recommendation, StaticAdvisor, UnconstrainedAdvisor,
@@ -38,7 +39,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Advisor", "Configuration", "ConstrainedGraphAdvisor",
-    "CostMatrices", "DesignSequence", "EMPTY_CONFIGURATION",
+    "CostEstimationStats", "CostMatrices", "CostService",
+    "DesignSequence", "EMPTY_CONFIGURATION",
     "GreedySeqAdvisor", "HybridAdvisor", "MatrixCostProvider",
     "MergingAdvisor", "ProblemInstance", "RankingAdvisor",
     "Recommendation", "StaticAdvisor", "UnconstrainedAdvisor",

@@ -23,8 +23,8 @@ import numpy as np
 
 from ..core.advisor import (ConstrainedGraphAdvisor, GreedySeqAdvisor,
                             Recommendation, UnconstrainedAdvisor)
-from ..core.costmatrix import (CostMatrices, WhatIfCostProvider,
-                               build_cost_matrices)
+from ..core.costmatrix import CostMatrices, build_cost_matrices
+from ..core.costservice import CostService
 from ..core.hybrid import solve_hybrid
 from ..core.kaware import solve_constrained
 from ..core.merging import merge_to_k
@@ -63,7 +63,10 @@ class PaperSetup:
         candidates: the six candidate indexes (paper Section 6.1).
         configurations: the seven candidate configurations.
         workloads / segments: W1, W2, W3 and their block segmentation.
-        provider: shared (caching) what-if cost provider.
+        provider: one shared :class:`CostService` — every experiment
+            and ablation routes its costing through this instance, so
+            matrices built for one figure are cache hits for the next
+            (``provider.stats`` meters the whole session).
     """
 
     db: Database
@@ -74,7 +77,7 @@ class PaperSetup:
     configurations: Tuple[Configuration, ...]
     workloads: Dict[str, Workload]
     segments: Dict[str, List[Segment]]
-    provider: WhatIfCostProvider
+    provider: CostService
 
     def problem_for(self, workload_name: str,
                     k: Optional[int] = None) -> ProblemInstance:
@@ -117,7 +120,7 @@ def build_paper_setup(nrows: int = 100_000, block_size: int = 100,
         workloads[name] = make_paper_workload(
             name, generator, block_size=block_size)
         segments[name] = segment_by_count(workloads[name], block_size)
-    provider = WhatIfCostProvider(db.what_if())
+    provider = CostService(db.what_if())
     return PaperSetup(db=db, nrows=nrows, block_size=block_size,
                       seed=seed, candidates=candidates,
                       configurations=configurations,

@@ -8,6 +8,10 @@ Commands:
   shifts, and the suggested change budget k.
 * ``recommend`` — the advisor: load a trace, synthesize a database
   matching it, and print the recommended constrained dynamic design.
+* ``costs`` — cost-estimation instrumentation: run an advisor session
+  (several advisors + a k sweep) against one shared
+  :class:`~repro.core.costservice.CostService` and report what-if
+  calls issued/avoided, cache hit rates, and costing wall time per run.
 * ``experiment`` — regenerate a table/figure of the paper.
 
 The CLI is self-contained: ``recommend`` infers the schema from the
@@ -27,7 +31,8 @@ from . import __version__
 from .core.advisor import (ConstrainedGraphAdvisor, GreedySeqAdvisor,
                            HybridAdvisor, MergingAdvisor,
                            UnconstrainedAdvisor)
-from .core.costmatrix import WhatIfCostProvider, build_cost_matrices
+from .core.costmatrix import build_cost_matrices
+from .core.costservice import CostService
 from .core.problem import ProblemInstance
 from .core.structures import (EMPTY_CONFIGURATION,
                               single_index_configurations)
@@ -104,6 +109,26 @@ def _build_parser() -> argparse.ArgumentParser:
     recommend.add_argument("--seed", type=int, default=0)
     recommend.set_defaults(handler=_cmd_recommend)
 
+    costs = sub.add_parser(
+        "costs", help="report cost-estimation work (what-if calls, "
+                      "cache hits, costing time) for an advisor "
+                      "session on a trace")
+    costs.add_argument("--trace", required=True)
+    costs.add_argument("--block-size", type=int, default=100)
+    costs.add_argument("--k", type=int, default=None,
+                       help="change budget (default: detected from "
+                            "the trace's major shifts)")
+    costs.add_argument("--advisors", default="unconstrained,kaware,"
+                                             "merging,greedy-seq",
+                       help="comma-separated advisors to run against "
+                            "the shared cost service")
+    costs.add_argument("--sweep", action="store_true",
+                       help="also run a full k sweep on the shared "
+                            "matrices")
+    costs.add_argument("--rows", type=int, default=100_000)
+    costs.add_argument("--seed", type=int, default=0)
+    costs.set_defaults(handler=_cmd_costs)
+
     experiment = sub.add_parser(
         "experiment", help="regenerate a table/figure of the paper")
     experiment.add_argument("name", choices=(
@@ -166,12 +191,82 @@ def _cmd_recommend(args) -> int:
         configurations=single_index_configurations(candidates),
         initial=EMPTY_CONFIGURATION, k=k,
         final=EMPTY_CONFIGURATION)
-    provider = WhatIfCostProvider(db.what_if())
-    matrices = build_cost_matrices(problem, provider)
+    provider = CostService(db.what_if())
     advisor = _ADVISORS[args.advisor](k)
-    recommendation = advisor.recommend(problem, provider, matrices)
+    recommendation = advisor.recommend(problem, provider)
     print(f"\n{recommendation.summary()}")
     print(recommendation.design.format_table())
+    costing = recommendation.costing
+    if costing is not None:
+        print(f"costing: {costing['whatif_calls']} what-if calls "
+              f"issued, {costing['whatif_calls_avoided']} avoided "
+              f"({costing['cache_hit_rate']:.0%} cache hit rate), "
+              f"{costing['costing_seconds'] * 1e3:.1f}ms estimating")
+    return 0
+
+
+def _cmd_costs(args) -> int:
+    workload = load_trace(args.trace)
+    db, table = _synthesize_database(workload, args.rows, args.seed)
+    k = args.k
+    if k is None:
+        k = detect_shifts(workload, args.block_size).suggested_k
+        print(f"no --k given; detected k = {k} from the trace's "
+              f"major shifts")
+    candidates = _candidate_indexes(workload, table)
+    problem = ProblemInstance(
+        segments=tuple(segment_by_count(workload, args.block_size)),
+        configurations=single_index_configurations(candidates),
+        initial=EMPTY_CONFIGURATION, k=k,
+        final=EMPTY_CONFIGURATION)
+    service = CostService(db.what_if())
+
+    names = [name.strip() for name in args.advisors.split(",")
+             if name.strip()]
+    if not names:
+        print("error: --advisors names no advisors", file=sys.stderr)
+        return 2
+    unknown = sorted(set(names) - set(_ADVISORS))
+    if unknown:
+        print(f"error: unknown advisor(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+    rows = []
+    for name in names:
+        recommendation = _ADVISORS[name](k).recommend(problem, service)
+        costing = recommendation.costing or {}
+        rows.append((name, recommendation.cost, costing))
+    if args.sweep:
+        from .core.ktuning import sweep_k
+        before = service.stats_snapshot()
+        start_sweep = build_cost_matrices(problem, service)
+        sweep = sweep_k(start_sweep, count_initial_change=False)
+        costing = service.stats_delta(before)
+        costing["costing_seconds"] = (costing["exec_seconds"] +
+                                      costing["trans_seconds"])
+        rows.append((f"k-sweep (0..{sweep.ks[-1]})", sweep.costs[-1],
+                     costing))
+
+    header = (f"{'run':<22} {'cost':>12} {'what-if':>8} "
+              f"{'avoided':>8} {'hit rate':>9} {'costing ms':>11}")
+    print("\ncost-estimation work per run (one shared CostService):")
+    print(header)
+    print("-" * len(header))
+    for name, cost, costing in rows:
+        print(f"{name:<22} {cost:>12.1f} "
+              f"{costing.get('whatif_calls', 0):>8} "
+              f"{costing.get('whatif_calls_avoided', 0):>8} "
+              f"{costing.get('cache_hit_rate', 0.0):>9.0%} "
+              f"{costing.get('costing_seconds', 0.0) * 1e3:>11.2f}")
+    totals = service.stats
+    print("-" * len(header))
+    print(f"session totals: {totals.whatif_calls} what-if calls "
+          f"issued, {totals.whatif_calls_avoided} avoided "
+          f"({totals.cache_hit_rate:.0%} hit rate), "
+          f"{totals.unique_templates} statement templates, "
+          f"{totals.batch_calls} batched matrix builds, "
+          f"{(totals.exec_seconds + totals.trans_seconds) * 1e3:.1f}ms "
+          f"estimating")
     return 0
 
 

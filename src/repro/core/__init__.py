@@ -10,7 +10,9 @@ from .advisor import (Advisor, ConstrainedGraphAdvisor, GreedySeqAdvisor,
                       HybridAdvisor, MergingAdvisor, RankingAdvisor,
                       Recommendation, StaticAdvisor, UnconstrainedAdvisor)
 from .costmatrix import (CostMatrices, CostProvider, MatrixCostProvider,
-                         WhatIfCostProvider, build_cost_matrices)
+                         WhatIfCostProvider, build_cost_matrices,
+                         supports_batching)
+from .costservice import CostEstimationStats, CostService
 from .design import DesignRun, DesignSequence, design_from_indices
 from .greedy_seq import (GreedyCandidates, greedy_seq_candidates,
                          reduce_problem)
@@ -35,8 +37,9 @@ __all__ = [
     "Advisor", "ConstrainedGraphAdvisor", "GreedySeqAdvisor",
     "HybridAdvisor", "MergingAdvisor", "RankingAdvisor",
     "Recommendation", "StaticAdvisor", "UnconstrainedAdvisor",
-    "CostMatrices", "CostProvider", "MatrixCostProvider",
-    "WhatIfCostProvider", "build_cost_matrices",
+    "CostEstimationStats", "CostMatrices", "CostProvider",
+    "CostService", "MatrixCostProvider",
+    "WhatIfCostProvider", "build_cost_matrices", "supports_batching",
     "DesignRun", "DesignSequence", "design_from_indices",
     "GreedyCandidates", "greedy_seq_candidates", "reduce_problem",
     "HybridResult", "solve_hybrid",

@@ -17,7 +17,8 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..errors import DesignError
-from .costmatrix import (CostMatrices, CostProvider, build_cost_matrices)
+from .costmatrix import (CostMatrices, CostProvider,
+                         build_cost_matrices)
 from .design import DesignSequence, design_from_indices
 from .greedy_seq import reduce_problem
 from .hybrid import solve_hybrid
@@ -49,10 +50,25 @@ class Recommendation:
     wall_time_seconds: float
     stats: Dict[str, object] = field(default_factory=dict)
 
+    @property
+    def costing(self) -> Optional[Dict[str, object]]:
+        """Cost-estimation instrumentation for this run, when the
+        advisor ran against a :class:`~repro.core.costservice.
+        CostService`: what-if calls issued/avoided, per-level cache
+        hits, and costing wall time (see ``CostEstimationStats``)."""
+        value = self.stats.get("costing")
+        return value if isinstance(value, dict) else None
+
     def summary(self) -> str:
-        return (f"{self.advisor}: cost={self.cost:.1f}, "
-                f"changes={self.change_count}, "
-                f"time={self.wall_time_seconds * 1e3:.2f}ms")
+        out = (f"{self.advisor}: cost={self.cost:.1f}, "
+               f"changes={self.change_count}, "
+               f"time={self.wall_time_seconds * 1e3:.2f}ms")
+        costing = self.costing
+        if costing is not None:
+            out += (f" (what-if calls={costing['whatif_calls']}, "
+                    f"cache hit rate={costing['cache_hit_rate']:.0%}, "
+                    f"costing={costing['costing_seconds'] * 1e3:.2f}ms)")
+        return out
 
 
 class Advisor:
@@ -73,13 +89,21 @@ class Advisor:
                   provider: CostProvider,
                   matrices: Optional[CostMatrices] = None
                   ) -> Recommendation:
-        """Produce a recommendation (matrices may be passed in to share
-        the costing work across advisors in comparisons)."""
+        """Produce a recommendation.
+
+        Matrices may be passed in to share the costing work across
+        advisors in comparisons; sharing one
+        :class:`~repro.core.costservice.CostService` as the provider
+        achieves the same through its caches while also attaching
+        per-run costing instrumentation to ``Recommendation.stats``.
+        """
+        meter = _CostingMeter(provider)
         if matrices is None:
             matrices = build_cost_matrices(problem, provider)
         start = time.perf_counter()
         assignment, cost, changes, stats = self._solve(problem, matrices)
         elapsed = time.perf_counter() - start
+        meter.attach(stats)
         design = design_from_indices(matrices, assignment,
                                      problem.initial)
         return Recommendation(advisor=self.name, design=design,
@@ -88,6 +112,27 @@ class Advisor:
 
     def _solve(self, problem: ProblemInstance, matrices: CostMatrices):
         raise NotImplementedError
+
+
+class _CostingMeter:
+    """Meters a provider's cost-estimation counters over one advisor
+    run (no-op for providers without instrumentation)."""
+
+    def __init__(self, provider: CostProvider):
+        self._provider = provider
+        self._snapshot = None
+        self._start = time.perf_counter()
+        if callable(getattr(provider, "stats_snapshot", None)):
+            self._snapshot = provider.stats_snapshot()
+
+    def attach(self, stats: Dict[str, object]) -> None:
+        if self._snapshot is None:
+            return
+        costing = self._provider.stats_delta(self._snapshot)
+        costing["costing_seconds"] = (costing["exec_seconds"] +
+                                      costing["trans_seconds"])
+        costing["total_seconds"] = time.perf_counter() - self._start
+        stats["costing"] = costing
 
 
 class UnconstrainedAdvisor(Advisor):
@@ -213,7 +258,10 @@ class GreedySeqAdvisor(Advisor):
                   ) -> Recommendation:
         # Candidate generation is part of this advisor's work, so the
         # timer wraps it; prebuilt matrices cannot be reused because
-        # the configuration axis changes.
+        # the configuration axis changes. A shared CostService still
+        # helps: the reduced problem's re-costing hits the caches the
+        # probes (and any earlier advisor) already filled.
+        meter = _CostingMeter(provider)
         start = time.perf_counter()
         reduced, greedy = reduce_problem(problem, provider,
                                          union_window=self.union_window)
@@ -230,13 +278,15 @@ class GreedySeqAdvisor(Advisor):
         elapsed = time.perf_counter() - start
         design = design_from_indices(reduced_matrices, assignment,
                                      problem.initial)
+        stats = {"k": self.k,
+                 "candidates": len(greedy.configurations),
+                 "full_space": problem.n_configurations,
+                 "probes": greedy.n_explored}
+        meter.attach(stats)
         return Recommendation(
             advisor=self.name, design=design, cost=cost,
             change_count=changes, wall_time_seconds=elapsed,
-            stats={"k": self.k,
-                   "candidates": len(greedy.configurations),
-                   "full_space": problem.n_configurations,
-                   "probes": greedy.n_explored})
+            stats=stats)
 
     def _solve(self, problem, matrices):  # pragma: no cover
         raise DesignError("GreedySeqAdvisor overrides recommend()")

@@ -46,7 +46,16 @@ class WhatIfCostProvider:
 
     Statement-level estimates are cached by ``(sql, config)`` so that
     repeated statements (ubiquitous in generated workloads) and repeated
-    sweeps over the same workload cost nothing extra.
+    sweeps over the same workload cost nothing extra. The cache key's
+    configuration component hashes over the *full* structure set —
+    views included — so two configurations differing only in views
+    never share an entry.
+
+    This is the minimal serial provider; prefer
+    :class:`~repro.core.costservice.CostService` for anything that
+    builds matrices or shares costing across advisors — it adds
+    template-level batching and instrumentation on top of the same
+    estimates.
     """
 
     def __init__(self, optimizer: WhatIfOptimizer):
@@ -64,7 +73,7 @@ class WhatIfCostProvider:
             units = self._exec_cache.get(key)
             if units is None:
                 units = self.optimizer.estimate_statement(
-                    statement.ast, config.indexes).units
+                    statement.ast, config.structures).units
                 self._exec_cache[key] = units
             total += units
         return total
@@ -74,15 +83,16 @@ class WhatIfCostProvider:
         key = (old, new)
         units = self._trans_cache.get(key)
         if units is None:
-            units = self.optimizer.transition_units(old.indexes,
-                                                    new.indexes)
+            units = self.optimizer.transition_units(old.structures,
+                                                    new.structures)
             self._trans_cache[key] = units
         return units
 
     def size_bytes(self, config: Configuration) -> int:
         size = self._size_cache.get(config)
         if size is None:
-            size = self.optimizer.configuration_size_bytes(config.indexes)
+            size = self.optimizer.configuration_size_bytes(
+                config.structures)
             self._size_cache[config] = size
         return size
 
@@ -111,7 +121,12 @@ class MatrixCostProvider:
             raise DesignError("trans matrix shape mismatch")
         if np.any(np.diag(trans_matrix) != 0.0):
             raise DesignError("TRANS(C, C) must be zero")
-        self._seg_index = {id(s): i for i, s in enumerate(segments)}
+        # Segments key by value, not id(): copies and re-created
+        # segments (equal statements + start + tag) must resolve to
+        # the same row. First occurrence wins for duplicate segments.
+        self._seg_index: Dict[Segment, int] = {}
+        for i, segment in enumerate(segments):
+            self._seg_index.setdefault(segment, i)
         self._cfg_index = {c: i for i, c in enumerate(configurations)}
         self.exec_matrix = exec_matrix
         self.trans_matrix = trans_matrix
@@ -119,8 +134,13 @@ class MatrixCostProvider:
 
     def exec_cost(self, segment: Segment,
                   config: Configuration) -> float:
-        return float(self.exec_matrix[self._seg_index[id(segment)],
-                                      self._cfg_index[config]])
+        try:
+            row = self._seg_index[segment]
+        except KeyError:
+            raise DesignError(
+                f"{segment!r} is not on this matrix's segment axis"
+            ) from None
+        return float(self.exec_matrix[row, self._cfg_index[config]])
 
     def trans_cost(self, old: Configuration,
                    new: Configuration) -> float:
@@ -150,6 +170,8 @@ class CostMatrices:
     initial_index: int
     final_index: Optional[int] = None
     _exec_prefix: Optional[np.ndarray] = field(default=None, repr=False)
+    _cfg_lookup: Optional[Dict[Configuration, int]] = field(
+        default=None, repr=False)
 
     @property
     def n_segments(self) -> int:
@@ -160,10 +182,16 @@ class CostMatrices:
         return len(self.configurations)
 
     def config_index(self, config: Configuration) -> int:
-        for i, candidate in enumerate(self.configurations):
-            if candidate == config:
-                return i
-        raise DesignError(f"{config} is not a candidate configuration")
+        """Column of ``config`` — O(1) via a lazily built lookup (this
+        is called inside loops by the merging/ranking paths)."""
+        if self._cfg_lookup is None:
+            self._cfg_lookup = {c: i for i, c
+                                in enumerate(self.configurations)}
+        try:
+            return self._cfg_lookup[config]
+        except KeyError:
+            raise DesignError(
+                f"{config} is not a candidate configuration") from None
 
     def exec_prefix_sums(self) -> np.ndarray:
         """``P[i, j] = sum of exec_matrix[:i, j]`` with a leading zero
@@ -214,20 +242,39 @@ class CostMatrices:
         return changes
 
 
+def supports_batching(provider: CostProvider) -> bool:
+    """Whether a provider offers the batch matrix API (duck-typed —
+    ``exec_matrix``/``trans_matrix`` as *callables*, which excludes
+    :class:`MatrixCostProvider`'s ndarray attributes of those names)."""
+    return (callable(getattr(provider, "exec_matrix", None)) and
+            callable(getattr(provider, "trans_matrix", None)))
+
+
 def build_cost_matrices(problem: ProblemInstance,
                         provider: CostProvider) -> CostMatrices:
-    """Materialize EXEC and TRANS matrices for a problem instance."""
+    """Materialize EXEC and TRANS matrices for a problem instance.
+
+    Batch-capable providers (:class:`~repro.core.costservice.
+    CostService`) fill both matrices through their deduplicating batch
+    API; plain providers fall back to the serial per-(segment, config)
+    loop. Both paths produce identical matrices — the batch path is
+    just cheaper in what-if calls.
+    """
     configs = problem.configurations
-    n_seg, n_cfg = problem.n_segments, len(configs)
-    exec_matrix = np.empty((n_seg, n_cfg), dtype=np.float64)
-    for i, segment in enumerate(problem.segments):
-        for j, config in enumerate(configs):
-            exec_matrix[i, j] = provider.exec_cost(segment, config)
-    trans_matrix = np.zeros((n_cfg, n_cfg), dtype=np.float64)
-    for i, old in enumerate(configs):
-        for j, new in enumerate(configs):
-            if i != j:
-                trans_matrix[i, j] = provider.trans_cost(old, new)
+    if supports_batching(provider):
+        exec_matrix = provider.exec_matrix(problem.segments, configs)
+        trans_matrix = provider.trans_matrix(configs)
+    else:
+        n_seg, n_cfg = problem.n_segments, len(configs)
+        exec_matrix = np.empty((n_seg, n_cfg), dtype=np.float64)
+        for i, segment in enumerate(problem.segments):
+            for j, config in enumerate(configs):
+                exec_matrix[i, j] = provider.exec_cost(segment, config)
+        trans_matrix = np.zeros((n_cfg, n_cfg), dtype=np.float64)
+        for i, old in enumerate(configs):
+            for j, new in enumerate(configs):
+                if i != j:
+                    trans_matrix[i, j] = provider.trans_cost(old, new)
     initial_index = configs.index(problem.initial)
     final_index = None
     if problem.final is not None:

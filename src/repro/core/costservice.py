@@ -1,0 +1,372 @@
+"""CostService: batched, instrumented cost estimation for the advisors.
+
+Advisor runtime is dominated by what-if cost estimation (the paper's
+Figure 4 measures exactly this), and historically every consumer —
+advisors, the k-sweep, the bench harness — re-drove
+``WhatIfOptimizer.estimate_statement`` through its own serial
+per-(statement, configuration) loop with only a flat ``(sql, config)``
+cache. :class:`CostService` centralizes that work behind the
+:class:`~repro.core.costmatrix.CostProvider` protocol and adds:
+
+* **a batch API** — :meth:`exec_matrix` / :meth:`trans_matrix`
+  deduplicate statements by :class:`~repro.sqlengine.whatif.
+  StatementTemplate` (same AST shape + table + columns, constants
+  folded into the selectivities they induce) before touching the
+  what-if optimizer, then expand per-template costs back to the
+  per-segment axis with NumPy. With exact selectivity folding (the
+  default) the resulting matrices are bit-identical to the serial
+  path's.
+
+* **a two-level cache** — L1 by ``(sql, configuration)`` (cheap exact
+  replays), L2 by ``(template key, configuration)`` (constants-blind).
+  One service shared across advisors, k-sweeps, and benches in a
+  session means identical matrices are never rebuilt from scratch.
+
+* **instrumentation** — :class:`CostEstimationStats` counts what-if
+  calls issued vs avoided, per-level cache hits, batch sizes, and wall
+  time per phase. Advisors snapshot/delta these counters into
+  ``Recommendation.stats["costing"]``; the ``repro costs`` CLI
+  subcommand prints them per advisor run.
+
+The serial per-segment summation order is preserved inside the batch
+expansion (a vectorized left-fold across configurations), so swapping
+a :class:`~repro.core.costmatrix.WhatIfCostProvider` for a
+:class:`CostService` never changes a single matrix entry — only how
+many optimizer calls it took to fill them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, fields, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sqlengine.whatif import StatementTemplate, WhatIfOptimizer
+from ..workload.segmentation import Segment
+from .costmatrix import CostMatrices
+from .problem import ProblemInstance
+from .structures import Configuration
+
+
+@dataclass
+class CostEstimationStats:
+    """Counters for one :class:`CostService` (monotone within a stats
+    epoch; snapshot/delta them to meter a single advisor run).
+
+    Attributes:
+        whatif_calls: estimates actually issued to the optimizer.
+        whatif_calls_avoided: statement estimates served without an
+            optimizer call (any cache level, batch or scalar path).
+        statement_hits: hits in the L1 ``(sql, config)`` cache.
+        template_hits: hits in the L2 ``(template, config)`` cache.
+        trans_calls / trans_cache_hits: TRANS estimates issued/served.
+        size_calls / size_cache_hits: SIZE estimates issued/served.
+        batch_calls: :meth:`CostService.exec_matrix` invocations.
+        batched_statements: statement instances covered by batches.
+        batched_templates: summed per-batch unique-template counts
+            (``batched_statements / batched_templates`` is the mean
+            dedup factor).
+        unique_templates: distinct templates seen so far.
+        exec_seconds / trans_seconds: wall time in EXEC / TRANS
+            estimation (cache management included).
+    """
+
+    whatif_calls: int = 0
+    whatif_calls_avoided: int = 0
+    statement_hits: int = 0
+    template_hits: int = 0
+    trans_calls: int = 0
+    trans_cache_hits: int = 0
+    size_calls: int = 0
+    size_cache_hits: int = 0
+    batch_calls: int = 0
+    batched_statements: int = 0
+    batched_templates: int = 0
+    unique_templates: int = 0
+    exec_seconds: float = 0.0
+    trans_seconds: float = 0.0
+
+    @property
+    def exec_requests(self) -> int:
+        """Statement-level EXEC estimates requested (served + issued)."""
+        return self.whatif_calls + self.whatif_calls_avoided
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of EXEC requests served without an optimizer call."""
+        requests = self.exec_requests
+        if requests == 0:
+            return 0.0
+        return self.whatif_calls_avoided / requests
+
+    def snapshot(self) -> "CostEstimationStats":
+        return replace(self)
+
+    def delta(self, earlier: "CostEstimationStats"
+              ) -> "CostEstimationStats":
+        """Counter difference ``self - earlier`` (for metering a span)."""
+        changes = {f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                   for f in fields(self)}
+        # A counter total, not a difference: templates known now.
+        changes["unique_templates"] = self.unique_templates
+        return CostEstimationStats(**changes)
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {f.name: getattr(self, f.name)
+                                  for f in fields(self)}
+        out["cache_hit_rate"] = self.cache_hit_rate
+        return out
+
+
+class CostService:
+    """Batched, cached, instrumented cost estimation.
+
+    Implements the :class:`~repro.core.costmatrix.CostProvider`
+    protocol (``exec_cost`` / ``trans_cost`` / ``size_bytes``) so it
+    drops in anywhere a provider is accepted, and adds the batch
+    entry points ``exec_matrix`` / ``trans_matrix`` / ``matrices_for``
+    that :func:`~repro.core.costmatrix.build_cost_matrices` routes
+    through automatically.
+
+    Args:
+        optimizer: the engine's what-if optimizer.
+        selectivity_resolution: optional bucket width for folding
+            predicate selectivities into template keys. ``None``
+            (default) keeps exact selectivities — estimates are then
+            bit-identical to the unbatched path. A coarse resolution
+            (e.g. ``1e-4``) trades exactness for more template sharing
+            on range-heavy workloads.
+    """
+
+    def __init__(self, optimizer: WhatIfOptimizer,
+                 selectivity_resolution: Optional[float] = None):
+        self.optimizer = optimizer
+        self.selectivity_resolution = selectivity_resolution
+        self.stats = CostEstimationStats()
+        self._stats_epoch = optimizer.stats_epoch
+        self._template_by_sql: Dict[str, StatementTemplate] = {}
+        self._template_keys: set = set()
+        self._statement_units: Dict[Tuple[str, Configuration], float] = {}
+        self._template_units: Dict[Tuple[Tuple, Configuration], float] = {}
+        self._trans_cache: Dict[Tuple[Configuration, Configuration],
+                                float] = {}
+        self._size_cache: Dict[Configuration, int] = {}
+
+    # ------------------------------------------------------------------
+    # CostProvider protocol (scalar path)
+    # ------------------------------------------------------------------
+
+    def exec_cost(self, segment: Segment,
+                  config: Configuration) -> float:
+        """EXEC(segment, config), summed in statement order."""
+        self._check_epoch()
+        start = time.perf_counter()
+        total = 0.0
+        for statement in segment:
+            total += self._statement_units_for(statement, config)
+        self.stats.exec_seconds += time.perf_counter() - start
+        return total
+
+    def trans_cost(self, old: Configuration,
+                   new: Configuration) -> float:
+        self._check_epoch()
+        start = time.perf_counter()
+        key = (old, new)
+        units = self._trans_cache.get(key)
+        if units is None:
+            units = self.optimizer.transition_units(old.structures,
+                                                    new.structures)
+            self._trans_cache[key] = units
+            self.stats.trans_calls += 1
+        else:
+            self.stats.trans_cache_hits += 1
+        self.stats.trans_seconds += time.perf_counter() - start
+        return units
+
+    def size_bytes(self, config: Configuration) -> int:
+        self._check_epoch()
+        size = self._size_cache.get(config)
+        if size is None:
+            size = self.optimizer.configuration_size_bytes(
+                config.structures)
+            self._size_cache[config] = size
+            self.stats.size_calls += 1
+        else:
+            self.stats.size_cache_hits += 1
+        return size
+
+    # ------------------------------------------------------------------
+    # batch API
+    # ------------------------------------------------------------------
+
+    def exec_matrix(self, segments: Sequence[Segment],
+                    configs: Sequence[Configuration]) -> np.ndarray:
+        """The dense EXEC matrix ``(len(segments), len(configs))``.
+
+        Statements are deduplicated by template across the whole batch
+        first, each template is estimated once per configuration (cache
+        permitting), and the per-template costs are expanded back to
+        segments with NumPy — a gather plus a left-fold that preserves
+        the serial path's statement-order summation exactly.
+        """
+        self._check_epoch()
+        start = time.perf_counter()
+        templates: List[StatementTemplate] = []
+        template_row: Dict[Tuple, int] = {}
+        sql_row: Dict[str, int] = {}
+        segment_rows: List[np.ndarray] = []
+        n_statements = 0
+        for segment in segments:
+            rows = []
+            for statement in segment:
+                row = sql_row.get(statement.sql)
+                if row is None:
+                    template = self._template(statement)
+                    row = template_row.get(template.key)
+                    if row is None:
+                        row = len(templates)
+                        template_row[template.key] = row
+                        templates.append(template)
+                    sql_row[statement.sql] = row
+                rows.append(row)
+            n_statements += len(rows)
+            segment_rows.append(np.asarray(rows, dtype=np.intp))
+
+        # One estimate per (template, configuration) not yet cached.
+        calls_before = self.stats.whatif_calls
+        units = np.empty((len(templates), len(configs)),
+                         dtype=np.float64)
+        for j, config in enumerate(configs):
+            for r, template in enumerate(templates):
+                key = (template.key, config)
+                value = self._template_units.get(key)
+                if value is None:
+                    value = self.optimizer.estimate_template(
+                        template, config.structures).units
+                    self._template_units[key] = value
+                    self.stats.whatif_calls += 1
+                else:
+                    self.stats.template_hits += 1
+                units[r, j] = value
+
+        # Warm the L1 cache so later scalar calls are dict lookups.
+        for sql, row in sql_row.items():
+            for j, config in enumerate(configs):
+                self._statement_units[(sql, config)] = float(
+                    units[row, j])
+
+        matrix = np.zeros((len(segments), len(configs)),
+                          dtype=np.float64)
+        for i, rows in enumerate(segment_rows):
+            if len(rows) == 0:
+                continue
+            gathered = units[rows, :]
+            total = np.zeros(len(configs), dtype=np.float64)
+            for statement_units in gathered:
+                # Left-fold, not np.sum: matches the serial provider's
+                # statement-order accumulation bit for bit.
+                total += statement_units
+            matrix[i] = total
+
+        self.stats.batch_calls += 1
+        self.stats.batched_statements += n_statements
+        self.stats.batched_templates += len(templates)
+        issued = self.stats.whatif_calls - calls_before
+        self.stats.whatif_calls_avoided += \
+            n_statements * len(configs) - issued
+        self.stats.exec_seconds += time.perf_counter() - start
+        return matrix
+
+    def trans_matrix(self, configs: Sequence[Configuration]
+                     ) -> np.ndarray:
+        """The dense TRANS matrix (zero diagonal), cache-shared with
+        the scalar path."""
+        n = len(configs)
+        matrix = np.zeros((n, n), dtype=np.float64)
+        for i, old in enumerate(configs):
+            for j, new in enumerate(configs):
+                if i != j:
+                    matrix[i, j] = self.trans_cost(old, new)
+        return matrix
+
+    def matrices_for(self, problem: ProblemInstance) -> CostMatrices:
+        """Materialize :class:`CostMatrices` for a problem instance
+        through the batch API."""
+        configs = problem.configurations
+        final_index = None
+        if problem.final is not None:
+            final_index = configs.index(problem.final)
+        return CostMatrices(
+            configurations=tuple(configs),
+            exec_matrix=self.exec_matrix(problem.segments, configs),
+            trans_matrix=self.trans_matrix(configs),
+            initial_index=configs.index(problem.initial),
+            final_index=final_index)
+
+    # ------------------------------------------------------------------
+    # instrumentation
+    # ------------------------------------------------------------------
+
+    def stats_snapshot(self) -> CostEstimationStats:
+        """A frozen copy of the counters (pair with
+        :meth:`stats_delta`)."""
+        return self.stats.snapshot()
+
+    def stats_delta(self, since: CostEstimationStats
+                    ) -> Dict[str, object]:
+        """Counter movement since ``since``, as a plain dict (the
+        shape stored in ``Recommendation.stats['costing']``)."""
+        return self.stats.delta(since).as_dict()
+
+    def invalidate(self) -> None:
+        """Drop every cache (call after out-of-band stats changes; the
+        optimizer's own ``refresh_stats`` is detected automatically)."""
+        self._template_by_sql.clear()
+        self._template_keys.clear()
+        self._statement_units.clear()
+        self._template_units.clear()
+        self._trans_cache.clear()
+        self._size_cache.clear()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _check_epoch(self) -> None:
+        if self.optimizer.stats_epoch != self._stats_epoch:
+            self.invalidate()
+            self._stats_epoch = self.optimizer.stats_epoch
+
+    def _template(self, statement) -> StatementTemplate:
+        template = self._template_by_sql.get(statement.sql)
+        if template is None:
+            template = self.optimizer.statement_template(
+                statement.ast, self.selectivity_resolution)
+            self._template_by_sql[statement.sql] = template
+            self._template_keys.add(template.key)
+            self.stats.unique_templates = len(self._template_keys)
+        return template
+
+    def _statement_units_for(self, statement,
+                             config: Configuration) -> float:
+        l1_key = (statement.sql, config)
+        units = self._statement_units.get(l1_key)
+        if units is not None:
+            self.stats.statement_hits += 1
+            self.stats.whatif_calls_avoided += 1
+            return units
+        template = self._template(statement)
+        l2_key = (template.key, config)
+        units = self._template_units.get(l2_key)
+        if units is None:
+            units = self.optimizer.estimate_template(
+                template, config.structures).units
+            self._template_units[l2_key] = units
+            self.stats.whatif_calls += 1
+        else:
+            self.stats.template_hits += 1
+            self.stats.whatif_calls_avoided += 1
+        self._statement_units[l1_key] = units
+        return units

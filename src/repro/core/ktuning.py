@@ -30,7 +30,7 @@ from ..errors import DesignError
 from ..workload.model import Workload
 from ..workload.segmentation import Segment, segment_by_count
 from .costmatrix import (CostMatrices, CostProvider,
-                         build_cost_matrices)
+                         build_cost_matrices, supports_batching)
 from .design import DesignSequence, design_from_indices
 from .kaware import solve_constrained
 from .problem import ProblemInstance
@@ -174,17 +174,42 @@ def validated_k(problem: ProblemInstance, provider: CostProvider,
         variation_segments.append(segments)
 
     training_costs: List[float] = []
-    validation_costs: List[float] = []
     designs: Dict[int, DesignSequence] = {}
     for k in ks:
         result = solve_constrained(matrices, k, count_initial_change)
-        design = design_from_indices(matrices, result.assignment,
-                                     problem.initial)
-        designs[k] = design
+        designs[k] = design_from_indices(matrices, result.assignment,
+                                        problem.initial)
         training_costs.append(result.cost)
+
+    # Price every k's design on every variation. A batch-capable
+    # provider fills one deduplicated EXEC matrix per variation over
+    # the configurations the designs actually use, so the pricing
+    # loops below reduce to array lookups; the summation order (and
+    # thus the result) is identical to the scalar path.
+    exec_lookups: List[Optional[object]] = [None] * len(
+        variation_segments)
+    if supports_batching(provider):
+        used: List[object] = []
+        for design in designs.values():
+            for config in design.assignments:
+                if config not in used:
+                    used.append(config)
+        columns = {config: j for j, config in enumerate(used)}
+        for v, segments in enumerate(variation_segments):
+            exec_matrix = provider.exec_matrix(segments, tuple(used))
+
+            def lookup(i, config, _m=exec_matrix, _c=columns):
+                return float(_m[i, _c[config]])
+
+            exec_lookups[v] = lookup
+    validation_costs: List[float] = []
+    for k in ks:
+        design = designs[k]
         validation_costs.append(float(np.mean([
-            _design_cost_on(provider, segments, design, problem)
-            for segments in variation_segments])))
+            _design_cost_on(provider, segments, design, problem,
+                            exec_lookup)
+            for segments, exec_lookup
+            in zip(variation_segments, exec_lookups)])))
     best_index = int(np.argmin(validation_costs))
     # Prefer the smallest k within a hair of the best.
     best_value = validation_costs[best_index]
@@ -201,14 +226,24 @@ def validated_k(problem: ProblemInstance, provider: CostProvider,
 def _design_cost_on(provider: CostProvider,
                     segments: Sequence[Segment],
                     design: DesignSequence,
-                    problem: ProblemInstance) -> float:
+                    problem: ProblemInstance,
+                    exec_lookup=None) -> float:
+    """Price a fixed design on a segment sequence.
+
+    ``exec_lookup(i, config)``, when given, replaces the per-segment
+    ``provider.exec_cost`` calls with prebuilt batch-matrix lookups.
+    """
     total = 0.0
     current = design.initial
-    for segment, config in zip(segments, design.assignments):
+    for i, (segment, config) in enumerate(zip(segments,
+                                              design.assignments)):
         if config != current:
             total += provider.trans_cost(current, config)
             current = config
-        total += provider.exec_cost(segment, config)
+        if exec_lookup is not None:
+            total += exec_lookup(i, config)
+        else:
+            total += provider.exec_cost(segment, config)
     if problem.final is not None and problem.final != current:
         total += provider.trans_cost(current, problem.final)
     return total

@@ -58,6 +58,12 @@ class OnlineResult:
             costs paid along the way.
         exec_cost / trans_cost: the split.
         decisions: every change, with the evidence that triggered it.
+        costing: cost-estimation instrumentation for the run (what-if
+            calls, cache hits, wall time) when the tuner's provider is
+            a :class:`~repro.core.costservice.CostService`; online
+            tuning is the heaviest scalar consumer — one estimate per
+            candidate per statement — so the service's template cache
+            matters most here.
     """
 
     design: DesignSequence
@@ -65,6 +71,7 @@ class OnlineResult:
     exec_cost: float
     trans_cost: float
     decisions: List[OnlineDecision]
+    costing: Optional[Dict[str, object]] = None
 
     @property
     def change_count(self) -> int:
@@ -122,6 +129,9 @@ class OnlineTuner:
     def run(self, statements: Sequence[Statement]) -> OnlineResult:
         """Tune over a statement stream from scratch."""
         self.reset()
+        snapshot = None
+        if callable(getattr(self.provider, "stats_snapshot", None)):
+            snapshot = self.provider.stats_snapshot()
         assignments: List[Configuration] = []
         decisions: List[OnlineDecision] = []
         exec_cost = 0.0
@@ -139,10 +149,13 @@ class OnlineTuner:
         if not assignments:
             raise DesignError("empty statement stream")
         design = DesignSequence(self.initial, assignments)
+        costing = None
+        if snapshot is not None:
+            costing = self.provider.stats_delta(snapshot)
         return OnlineResult(design=design,
                             total_cost=exec_cost + trans_cost,
                             exec_cost=exec_cost, trans_cost=trans_cost,
-                            decisions=decisions)
+                            decisions=decisions, costing=costing)
 
     # ------------------------------------------------------------------
 

@@ -29,6 +29,19 @@ class Configuration:
 
     @property
     def indexes(self) -> FrozenSet[IndexDef]:
+        """The full structure set (historical name — views included)."""
+        return self._indexes
+
+    @property
+    def structures(self) -> FrozenSet[IndexDef]:
+        """All design structures: indexes *and* materialized views.
+
+        A :class:`Configuration` stores every structure kind in one
+        frozenset, so equality/hashing — and therefore every cost-cache
+        key built from a configuration — already covers views. Cost
+        paths read this alias so the intent survives the next structure
+        kind.
+        """
         return self._indexes
 
     def __iter__(self) -> Iterator[IndexDef]:

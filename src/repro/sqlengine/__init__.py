@@ -19,7 +19,8 @@ from .stats import ColumnStats, EquiDepthHistogram, TableStats
 from .storage import HeapTable, PAGE_SIZE_BYTES
 from .types import ColumnType, Value
 from .views import MaterializedView, ViewDef, ViewGeometry
-from .whatif import PlanEstimate, WhatIfOptimizer
+from .whatif import (PlanEstimate, StatementTemplate,
+                     WhatIfOptimizer)
 
 __all__ = [
     "BufferManager", "IoMetrics", "BPlusTree", "Cost", "CostParams",
@@ -29,5 +30,6 @@ __all__ = [
     "enumerate_access_paths", "Column", "TableSchema", "parse",
     "ColumnStats", "EquiDepthHistogram", "TableStats", "HeapTable",
     "PAGE_SIZE_BYTES", "ColumnType", "Value", "PlanEstimate",
-    "WhatIfOptimizer", "MaterializedView", "ViewDef", "ViewGeometry",
+    "WhatIfOptimizer", "StatementTemplate", "MaterializedView",
+    "ViewDef", "ViewGeometry",
 ]

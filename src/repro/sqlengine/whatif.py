@@ -13,11 +13,18 @@ problem definition needs:
 * ``EXEC(S, C)`` — :meth:`estimate_statement`,
 * ``TRANS(C1, C2)`` — :meth:`transition_cost`,
 * ``SIZE(C)`` — :meth:`configuration_size_bytes`.
+
+Batched consumers (the :class:`~repro.core.costservice.CostService`)
+additionally use the *template* entry points — statements are reduced
+to a canonical :class:`StatementTemplate` whose key folds predicate
+constants into the selectivities they induce; two statements with equal
+template keys receive identical what-if estimates, so each template is
+estimated once per configuration instead of once per statement.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 from ..errors import CatalogError, SqlUnsupportedError
@@ -45,6 +52,30 @@ class PlanEstimate:
         return self.units
 
 
+@dataclass(frozen=True)
+class StatementTemplate:
+    """Canonical cost shape of a statement.
+
+    Two statements share a template exactly when the cost model cannot
+    tell them apart: same statement kind, table, selected columns,
+    aggregates/ordering/grouping, and — the folding step — the same
+    per-column predicate *selectivities*. Constants themselves are
+    discarded; only the selectivity each predicate induces under the
+    current statistics is kept (optionally quantized into buckets).
+    With exact selectivities (the default), estimating the
+    representative statement yields the bit-identical result every
+    member of the template would get.
+
+    Attributes:
+        key: hashable signature (the dedup/cache key).
+        representative: parsed AST of one member statement, used to
+            actually run the estimate.
+    """
+
+    key: Tuple
+    representative: Statement = field(compare=False, repr=False)
+
+
 class WhatIfOptimizer:
     """Costs statements under arbitrary (hypothetical) configurations.
 
@@ -62,6 +93,9 @@ class WhatIfOptimizer:
         self.params = params or CostParams()
         self._geometry_cache: Dict[Tuple[IndexDef, int], IndexGeometry] = {}
         self._analyze_cache: Dict[SelectStmt, QueryInfo] = {}
+        #: Bumped whenever statistics change; template keys computed
+        #: under an older epoch are stale (selectivities moved).
+        self.stats_epoch = 0
 
     # ------------------------------------------------------------------
     # EXEC
@@ -79,6 +113,98 @@ class WhatIfOptimizer:
             return self._estimate_write_with_where(stmt, config)
         raise SqlUnsupportedError(
             f"what-if costing does not support {type(stmt).__name__}")
+
+    # ------------------------------------------------------------------
+    # templates (the batched-estimation entry point)
+    # ------------------------------------------------------------------
+
+    def statement_template(self, stmt: Statement,
+                           selectivity_resolution: Optional[float] = None
+                           ) -> StatementTemplate:
+        """Reduce ``stmt`` to its :class:`StatementTemplate`.
+
+        Args:
+            stmt: the parsed statement.
+            selectivity_resolution: when given, selectivities are
+                quantized into buckets of this width before entering
+                the key — coarser dedup at the price of exactness.
+                ``None`` (default) keeps exact selectivities, which
+                preserves bit-identical estimates within a template.
+        """
+        if isinstance(stmt, SelectStmt):
+            key = ("select",
+                   self._select_signature(stmt, selectivity_resolution))
+            return StatementTemplate(key=key, representative=stmt)
+        if isinstance(stmt, InsertStmt):
+            # Row *values* never enter the insert cost model — only the
+            # target table and the row count do.
+            key = ("insert", stmt.table, len(stmt.rows))
+            return StatementTemplate(key=key, representative=stmt)
+        if isinstance(stmt, (UpdateStmt, DeleteStmt)):
+            # Writes cost like a SELECT * probe plus a per-affected-row
+            # write term; SET values are irrelevant, the WHERE shape is
+            # everything.
+            schema = self._schema_for(stmt.table)
+            probe = SelectStmt(table=stmt.table,
+                               columns=tuple(schema.column_names),
+                               where=stmt.where)
+            key = (type(stmt).__name__.lower(),
+                   self._select_signature(probe, selectivity_resolution))
+            return StatementTemplate(key=key, representative=stmt)
+        raise SqlUnsupportedError(
+            f"what-if costing does not support {type(stmt).__name__}")
+
+    def estimate_template(self, template: StatementTemplate,
+                          config: Iterable[IndexDef]) -> PlanEstimate:
+        """Estimate one template's cost under ``config`` (by costing
+        its representative statement)."""
+        return self.estimate_statement(template.representative, config)
+
+    def _select_signature(self, stmt: SelectStmt,
+                          resolution: Optional[float]) -> Tuple:
+        """The selectivity-folded signature of a SELECT.
+
+        Every quantity the planner derives from the statement is a
+        function of this tuple (plus table statistics): output columns,
+        aggregate/order/group shape, and — per predicate column — the
+        constraint kinds with their selectivities, in the exact order
+        ``predicate_selectivity`` multiplies them.
+        """
+        info = self._analyze(stmt)
+        stats = self._stats_for(stmt.table)
+
+        def fold(selectivity: float) -> float:
+            if resolution is None or resolution <= 0:
+                return selectivity
+            return round(selectivity / resolution) * resolution
+
+        columns = sorted(set(info.eq_predicates)
+                         | set(info.range_predicates)
+                         | {p.column for p in info.neq_predicates})
+        predicate_parts = []
+        for column in columns:
+            parts: List[Tuple[str, float]] = []
+            column_stats = stats.column(column)
+            if column in info.eq_predicates:
+                parts.append(("eq", fold(column_stats.selectivity_eq(
+                    info.eq_predicates[column]))))
+            if column in info.range_predicates:
+                spec = info.range_predicates[column]
+                parts.append(("range", fold(
+                    column_stats.selectivity_range(
+                        spec.lo, spec.hi, spec.lo_inclusive,
+                        spec.hi_inclusive))))
+            for predicate in info.neq_predicates:
+                if predicate.column == column:
+                    parts.append(("neq", fold(
+                        column_stats.selectivity_eq(predicate.value))))
+            predicate_parts.append((column, tuple(parts)))
+        order = None
+        if info.order_by is not None:
+            order = (info.order_by.column, info.order_by.descending)
+        return (stmt.table, info.select_columns, info.aggregates,
+                info.group_by, order, info.limit, info.unsatisfiable,
+                tuple(predicate_parts))
 
     def _estimate_select(self, stmt: SelectStmt,
                          config: FrozenSet[IndexDef]) -> PlanEstimate:
@@ -161,9 +287,11 @@ class WhatIfOptimizer:
     # ------------------------------------------------------------------
 
     def refresh_stats(self, stats: Mapping[str, TableStats]) -> None:
-        """Swap in new statistics (invalidates geometry caches)."""
+        """Swap in new statistics (invalidates geometry caches and
+        bumps the stats epoch so cached templates go stale)."""
         self._stats = dict(stats)
         self._geometry_cache.clear()
+        self.stats_epoch += 1
 
     def _schema_for(self, table: str) -> TableSchema:
         try:

@@ -39,6 +39,21 @@ class TestWhatIfCostProvider:
         assert small_provider.size_bytes(CONFIG_A) > 0
         assert small_provider.size_bytes(EMPTY_CONFIGURATION) == 0
 
+    def test_view_configs_cached_separately(self, small_provider):
+        """Regression: the exec cache key must cover the *full*
+        structure set — two configurations with the same indexes but
+        different views are different cache entries."""
+        from repro.sqlengine import ViewDef
+        seg = Segment((Statement("SELECT a FROM t"),), 0)
+        with_view = Configuration({ViewDef("t", ("a",))})
+        scan = small_provider.exec_cost(seg, EMPTY_CONFIGURATION)
+        projected = small_provider.exec_cost(seg, with_view)
+        assert projected < scan
+        # Replays land on their own entries, not each other's.
+        assert small_provider.exec_cost(seg,
+                                        EMPTY_CONFIGURATION) == scan
+        assert small_provider.exec_cost(seg, with_view) == projected
+
 
 class TestMatrixCostProvider:
     def make(self):
@@ -75,6 +90,20 @@ class TestMatrixCostProvider:
             MatrixCostProvider(segs, configs, np.zeros((1, 1)),
                                np.array([[1.0]]))
 
+    def test_segment_value_copy_resolves(self):
+        """Regression: segments are keyed by value, not identity — a
+        reconstructed (equal) segment hits the same matrix row."""
+        segs, configs, provider = self.make()
+        copy = Segment(tuple(segs[1].statements), segs[1].start)
+        assert copy is not segs[1]
+        assert provider.exec_cost(copy, configs[0]) == 3.0
+
+    def test_unknown_segment_raises(self):
+        _, configs, provider = self.make()
+        stranger = Segment((Statement("SELECT a FROM t"),), 99)
+        with pytest.raises(DesignError):
+            provider.exec_cost(stranger, configs[0])
+
 
 class TestCostMatrices:
     def test_build_from_problem(self, small_problem, small_provider):
@@ -91,6 +120,14 @@ class TestCostMatrices:
         with pytest.raises(DesignError):
             matrices.config_index(Configuration({IndexDef("t",
                                                           ("zz",))}))
+
+    def test_config_index_maps_every_config(self):
+        matrices = random_matrices(3, 5, seed=6)
+        for i, config in enumerate(matrices.configurations):
+            assert matrices.config_index(config) == i
+        # Repeat lookups ride the lazily-built map.
+        for i, config in enumerate(matrices.configurations):
+            assert matrices.config_index(config) == i
 
     def test_prefix_sums(self):
         matrices = random_matrices(5, 3, seed=1)

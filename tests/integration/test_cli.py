@@ -77,6 +77,47 @@ class TestRecommendCommand:
         assert "error:" in capsys.readouterr().err
 
 
+class TestCostsCommand:
+    def test_reports_per_run_and_session_totals(self, trace_path,
+                                                capsys):
+        assert main(["costs", "--trace", str(trace_path),
+                     "--block-size", "40", "--rows", "20000",
+                     "--k", "2",
+                     "--advisors", "unconstrained,kaware"]) == 0
+        out = capsys.readouterr().out
+        assert "one shared CostService" in out
+        assert "unconstrained" in out and "kaware" in out
+        assert "session totals:" in out
+        assert "what-if calls issued" in out
+        assert "statement templates" in out
+
+    def test_sweep_adds_a_row(self, trace_path, capsys):
+        assert main(["costs", "--trace", str(trace_path),
+                     "--block-size", "40", "--rows", "20000",
+                     "--k", "2", "--advisors", "kaware",
+                     "--sweep"]) == 0
+        assert "k-sweep (0.." in capsys.readouterr().out
+
+    def test_unknown_advisor_fails(self, trace_path, capsys):
+        assert main(["costs", "--trace", str(trace_path),
+                     "--rows", "20000",
+                     "--advisors", "kaware,nope"]) == 2
+        assert "unknown advisor" in capsys.readouterr().err
+
+    def test_empty_advisors_fails(self, trace_path, capsys):
+        assert main(["costs", "--trace", str(trace_path),
+                     "--rows", "20000", "--advisors", ","]) == 2
+        assert "names no advisors" in capsys.readouterr().err
+
+    def test_recommend_prints_costing(self, trace_path, capsys):
+        assert main(["recommend", "--trace", str(trace_path),
+                     "--block-size", "40", "--rows", "20000",
+                     "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "costing:" in out
+        assert "what-if calls issued" in out
+
+
 class TestExperimentCommand:
     def test_table1(self, capsys):
         assert main(["experiment", "table1"]) == 0
