@@ -26,15 +26,19 @@ from ..core.advisor import (ConstrainedGraphAdvisor, GreedySeqAdvisor,
 from ..core.costmatrix import CostMatrices, build_cost_matrices
 from ..core.costservice import CostService
 from ..core.hybrid import solve_hybrid
-from ..core.kaware import solve_constrained
+from ..core.kaware import (constrained_invariant_violations,
+                           solve_constrained)
 from ..core.merging import merge_to_k
 from ..core.problem import ProblemInstance, enumerate_configurations
 from ..core.ranking import solve_by_ranking
 from ..core.sequence_graph import solve_unconstrained
 from ..core.structures import (Configuration, EMPTY_CONFIGURATION,
                                single_index_configurations)
+from ..errors import VerificationError
 from ..sqlengine.database import Database
 from ..sqlengine.index import IndexDef
+from ..verify.checks import (replay_ranking_failures,
+                             solver_agreement_failures)
 from ..workload.mixes import (PAPER_MIXES, PAPER_VALUE_RANGE,
                               block_labels, make_paper_workload,
                               paper_generator)
@@ -211,6 +215,11 @@ def run_table2(setup: PaperSetup, k: int = 2) -> Table2Result:
     constrained = ConstrainedGraphAdvisor(
         k, count_initial_change=COUNT_INITIAL_CHANGE).recommend(
         problem, setup.provider, matrices)
+    failures = solver_agreement_failures(
+        matrices, k, COUNT_INITIAL_CHANGE, label="table2")
+    if failures:
+        raise VerificationError(
+            "table2 verify pass failed:\n" + "\n".join(failures))
     rows = []
     w1_labels = block_labels("W1")
     w2_labels = block_labels("W2")
@@ -294,6 +303,21 @@ def run_figure3(setup: PaperSetup,
     if metered:
         # Leave the database back in the empty design.
         setup.db.apply_configuration(set())
+        # Verify pass: the cost model must rank every replay pair the
+        # same way the live engine did, or the estimated and metered
+        # versions of this figure would tell different stories.
+        estimated = {
+            key: estimate_replay(
+                setup.provider, setup.segments[key[0]],
+                designs[key[1]],
+                final_config=EMPTY_CONFIGURATION).total_units
+            for key in reports}
+        failures = replay_ranking_failures(
+            {key: report.total_units
+             for key, report in reports.items()}, estimated)
+        if failures:
+            raise VerificationError(
+                "figure3 verify pass failed:\n" + "\n".join(failures))
     return Figure3Result(relative=relative, reports=reports,
                          metered=metered)
 
@@ -362,6 +386,16 @@ def run_figure4(setup: PaperSetup,
     graph_relative: List[float] = []
     merging_relative: List[float] = []
     for k in ks:
+        # Verify pass: the solution being timed must satisfy the
+        # constrained invariants, or the runtimes are meaningless.
+        solved = solve_constrained(matrices, k, COUNT_INITIAL_CHANGE)
+        violations = constrained_invariant_violations(
+            matrices, solved, k,
+            count_initial_change=COUNT_INITIAL_CHANGE)
+        if violations:
+            raise VerificationError(
+                f"figure4 verify pass failed at k={k}: "
+                + "; ".join(violations))
         graph_seconds = _best_time(
             lambda: solve_constrained(matrices, k,
                                       COUNT_INITIAL_CHANGE), repeats)

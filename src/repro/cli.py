@@ -13,6 +13,10 @@ Commands:
   :class:`~repro.core.costservice.CostService` and report what-if
   calls issued/avoided, cache hit rates, and costing wall time per run.
 * ``experiment`` — regenerate a table/figure of the paper.
+* ``verify`` — the differential verification harness: cross-check the
+  solver implementations against each other, the constrained-solver
+  invariants, cost-service bit-identity, and what-if estimates against
+  live execution; exits non-zero on any disagreement.
 
 The CLI is self-contained: ``recommend`` infers the schema from the
 trace's queries and populates a synthetic table, so no database setup
@@ -137,6 +141,26 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--block-size", type=int, default=100)
     experiment.add_argument("--seed", type=int, default=0)
     experiment.set_defaults(handler=_cmd_experiment)
+
+    verify = sub.add_parser(
+        "verify", help="run the differential verification harness "
+                       "(solver equivalence, constrained invariants, "
+                       "cost-service bit-identity, estimates vs "
+                       "executed ground truth)")
+    verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument("--instances", type=int, default=50,
+                        help="randomized solver instances to "
+                             "cross-check (default 50)")
+    verify.add_argument("--quick", action="store_true",
+                        help="shrink the live-engine checks to CI "
+                             "scale (never reduces --instances)")
+    verify.add_argument("--rows", type=int, default=None,
+                        help="rows per live trace instance (default "
+                             "4000 quick / 20000 full)")
+    verify.add_argument("--traces", type=int, default=None,
+                        help="live trace instances (default 1 quick "
+                             "/ 2 full)")
+    verify.set_defaults(handler=_cmd_verify)
     return parser
 
 
@@ -288,6 +312,16 @@ def _cmd_experiment(args) -> int:
     else:
         print(run_figure4(setup).format())
     return 0
+
+
+def _cmd_verify(args) -> int:
+    from .verify import run_verification
+    report = run_verification(seed=args.seed,
+                              instances=args.instances,
+                              quick=args.quick, nrows=args.rows,
+                              traces=args.traces)
+    print(report.format())
+    return 0 if report.ok else 1
 
 
 # ----------------------------------------------------------------------

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from ..errors import DesignError
 from ..sqlengine.index import IndexDef, structure_sort_key
 from ..workload.segmentation import Segment
 from .costmatrix import CostProvider
@@ -62,12 +63,20 @@ def greedy_seq_candidates(
         segments: the workload units.
         candidate_indexes: the m candidate structures.
         provider: cost provider for the local EXEC probes.
-        initial: C0 (always kept in the candidate set).
+        initial: C0 (always kept in the candidate set, even above the
+            space bound — it already exists; the solvers may only
+            transition away from it).
         final: required final configuration, if any (kept too).
-        space_bound_bytes: configurations above the bound are dropped.
+        space_bound_bytes: *generated* configurations above the bound
+            are dropped; the initial configuration is exempt.
         union_window: how far apart two local bests may be and still
             get a union candidate (1 = consecutive only, the classic
             rule; larger values add stability candidates).
+
+    Raises:
+        DesignError: if the required final configuration violates the
+            space bound (the problem is then infeasible — unlike C0,
+            the final design must actually be built within b).
     """
     singles = [EMPTY_CONFIGURATION] + \
         [Configuration({d})
@@ -88,15 +97,26 @@ def greedy_seq_candidates(
 
     candidates: List[Configuration] = []
 
-    def _add(config: Configuration) -> None:
-        if config not in candidates and \
-                _fits(config, provider, space_bound_bytes):
-            candidates.append(config)
+    def _add(config: Configuration, required: bool = False) -> None:
+        # The space-bound filter applies only to *generated*
+        # candidates: the initial and required final configurations
+        # are always kept (the docstring's contract — dropping them
+        # breaks restrict_configurations downstream).
+        if config in candidates:
+            return
+        if not required and not _fits(config, provider,
+                                      space_bound_bytes):
+            return
+        candidates.append(config)
 
-    _add(initial)
+    _add(initial, required=True)
     _add(EMPTY_CONFIGURATION)
     if final is not None:
-        _add(final)
+        if not _fits(final, provider, space_bound_bytes):
+            raise DesignError(
+                f"required final configuration {final} exceeds the "
+                f"space bound of {space_bound_bytes} bytes")
+        _add(final, required=True)
     for config in per_segment_best:
         _add(config)
     # Union candidates across shifts within the window.

@@ -27,7 +27,7 @@ paper's tables).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -161,6 +161,63 @@ def _changes_excluding_initial(matrices: CostMatrices,
     return changes
 
 
+def constrained_invariant_violations(
+        matrices: CostMatrices, result: ConstrainedResult, k: int,
+        count_initial_change: bool = True,
+        size_fn: Optional[Callable[[int], int]] = None,
+        space_bound_bytes: Optional[int] = None) -> List[str]:
+    """Invariant hook: everything a constrained solution must satisfy.
+
+    Returns human-readable violation descriptions (empty = all good).
+    The verification harness (:mod:`repro.verify`) runs this after
+    every solve; tests can call it directly on any
+    :class:`ConstrainedResult`.
+
+    Checked: assignment length; reported cost equals the canonical
+    :meth:`CostMatrices.sequence_cost` of the assignment bit-for-bit
+    (summation order is fixed across solvers); change count under the
+    requested counting mode never exceeds ``k`` and matches the
+    reported count; with ``size_fn`` (configuration column index ->
+    bytes) and a space bound, ``SIZE(C_i) <= b`` at every stage.
+    """
+    violations: List[str] = []
+    assignment = result.assignment
+    if len(assignment) != matrices.n_segments:
+        violations.append(
+            f"assignment length {len(assignment)} != "
+            f"{matrices.n_segments} segments")
+        return violations
+    canonical = matrices.sequence_cost(assignment)
+    if canonical != result.cost:
+        violations.append(
+            f"reported cost {result.cost!r} != canonical "
+            f"sequence cost {canonical!r}")
+    changes = matrices.change_count(assignment) \
+        if count_initial_change \
+        else _changes_excluding_initial(matrices, assignment)
+    if changes != result.change_count:
+        violations.append(
+            f"reported change count {result.change_count} != "
+            f"recomputed {changes}")
+    if changes > k:
+        violations.append(
+            f"{changes} changes exceed the budget k={k}")
+    if k == 0 and count_initial_change and any(
+            cfg != matrices.initial_index for cfg in assignment):
+        violations.append(
+            "k=0 with strict counting must stay on the initial "
+            "configuration")
+    if size_fn is not None and space_bound_bytes is not None:
+        for i, cfg in enumerate(assignment):
+            size = size_fn(cfg)
+            if size > space_bound_bytes:
+                violations.append(
+                    f"SIZE(C_{i}) = {size} exceeds the space bound "
+                    f"{space_bound_bytes}")
+                break
+    return violations
+
+
 def solve_constrained_reference(matrices: CostMatrices, k: int,
                                 count_initial_change: bool = True
                                 ) -> ConstrainedResult:
@@ -193,18 +250,28 @@ def solve_constrained_reference(matrices: CostMatrices, k: int,
             [[None] * n_cfg for _ in range(n_layers)]
         for l in range(n_layers):
             for c in range(n_cfg):
-                best = dist[l][c]
+                exec_cost = float(exec_matrix[i, c])
+                best = dist[l][c] + exec_cost
                 best_ptr: Optional[Tuple[int, int]] = (l, c)
                 if l > 0:
+                    # Pick the change parent on the pre-exec base
+                    # (dist + trans), then compare totals with the
+                    # stay edge, ties going to "stay" — exactly the
+                    # vectorized solver's order. (a + e) == (b + e)
+                    # can hold bitwise for a != b, so where exec is
+                    # added changes which tied parent wins.
+                    base, parent = inf, None
                     for p in range(n_cfg):
                         if p == c:
                             continue
                         candidate = dist[l - 1][p] + float(trans[p, c])
-                        if candidate < best:
-                            best = candidate
-                            best_ptr = (l - 1, p)
+                        if candidate < base:
+                            base, parent = candidate, p
+                    if parent is not None and base + exec_cost < best:
+                        best = base + exec_cost
+                        best_ptr = (l - 1, parent)
                 if best < inf:
-                    new_dist[l][c] = best + float(exec_matrix[i, c])
+                    new_dist[l][c] = best
                     pointers[l][c] = best_ptr
         dist = new_dist
         back.append(pointers)

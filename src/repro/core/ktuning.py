@@ -21,6 +21,7 @@ strategies:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -93,7 +94,10 @@ def knee_k(sweep: KSweepResult,
 
     ``min_relative_gain`` optionally requires the knee's cumulative
     gain to cover at least that fraction of the total gain; points
-    failing it are skipped.
+    failing it are skipped. When no point has a kneedle score (all lie
+    on or above the chord), the fallback is explicit: the smallest k
+    meeting the cumulative-gain gate, else the largest k — never an
+    accidental index 0 from ``argmax`` over all ``-inf``.
     """
     if len(sweep.ks) == 1:
         return sweep.ks[0]
@@ -106,12 +110,23 @@ def knee_k(sweep: KSweepResult,
     y = (costs - costs[-1]) / total_gain          # 1 -> 0
     chord = 1.0 - x                               # straight decline
     below = chord - y                             # distance under it
+    eligible = np.ones(len(sweep.ks), dtype=bool)
     if min_relative_gain > 0:
         cumulative = (costs[0] - costs) / total_gain
-        below = np.where(cumulative >= min_relative_gain, below,
-                         -np.inf)
+        eligible = cumulative >= min_relative_gain
+        if not eligible.any():
+            # The gate filtered every point; argmax over an all
+            # -inf array would silently pick index 0.
+            return sweep.ks[-1]
+        below = np.where(eligible, below, -np.inf)
     best = int(np.argmax(below))
     if below[best] <= 1e-12:
+        # No knee: nothing sits meaningfully under the chord. Prefer
+        # the smallest budget that still clears the cumulative-gain
+        # gate; without a gate, every change keeps paying off equally,
+        # so take the largest.
+        if min_relative_gain > 0:
+            return sweep.ks[int(np.argmax(eligible))]
         return sweep.ks[-1]
     return sweep.ks[best]
 
@@ -211,10 +226,14 @@ def validated_k(problem: ProblemInstance, provider: CostProvider,
             for segments, exec_lookup
             in zip(variation_segments, exec_lookups)])))
     best_index = int(np.argmin(validation_costs))
-    # Prefer the smallest k within a hair of the best.
+    # Prefer the smallest k within a hair of the best. The tolerance
+    # needs an absolute floor: a purely relative bound collapses when
+    # the best validation cost is 0 (nothing but exact zeros would
+    # tie, so a near-zero smaller k loses to a zero larger k).
     best_value = validation_costs[best_index]
     for i, value in enumerate(validation_costs):
-        if value <= best_value * (1.0 + 1e-9):
+        if math.isclose(value, best_value, rel_tol=1e-9,
+                        abs_tol=1e-12):
             best_index = i
             break
     return ValidatedKResult(best_k=ks[best_index], ks=list(ks),

@@ -195,6 +195,43 @@ class SequenceGraph:
             matrices.exec_matrix[stage, cfg]))
             for c in range(self.n_configurations)]
 
+    # -- solving -----------------------------------------------------------
+
+    def shortest_path(self) -> ShortestPathResult:
+        """Shortest source-to-sink path over the *explicit* edge lists.
+
+        This is deliberately a third, independent implementation of the
+        unconstrained optimum: a node-by-node relaxation in topological
+        order over :meth:`successors` adjacency, with none of the
+        matrix broadcasting of :func:`solve_unconstrained`. The
+        verification harness cross-checks all three paths against each
+        other. Ties break toward the lowest predecessor configuration
+        index (the same rule the DP solvers use). The reported cost is
+        the canonical :meth:`CostMatrices.sequence_cost` of the
+        reconstructed assignment, so agreement checks compare exact
+        like with like.
+        """
+        dist = {SOURCE: 0.0}
+        parent: dict = {}
+        for node in self.nodes():
+            node_dist = dist.get(node)
+            if node_dist is None:
+                continue
+            for successor, weight in self.successors(node):
+                candidate = node_dist + weight
+                if successor not in dist or candidate < dist[successor]:
+                    dist[successor] = candidate
+                    parent[successor] = node
+        path = [SINK]
+        while path[-1] != SOURCE:
+            path.append(parent[path[-1]])
+        path.reverse()
+        assignment = self.path_assignment(path)
+        return ShortestPathResult(
+            assignment=assignment,
+            cost=self.matrices.sequence_cost(assignment),
+            change_count=self.matrices.change_count(assignment))
+
     def path_assignment(self, path: Sequence[Node]) -> Tuple[int, ...]:
         """Extract the per-segment configuration indices from a
         source-to-sink node path."""

@@ -85,3 +85,12 @@ class RankingExhaustedError(DesignError):
 
 class WorkloadError(ReproError):
     """A workload definition or trace file is invalid."""
+
+
+class VerificationError(ReproError):
+    """A differential or invariant check found a disagreement.
+
+    Raised by the verification harness (:mod:`repro.verify`) and by
+    the experiment runners' end-of-run verify passes. The message
+    carries the formatted failure list.
+    """

@@ -8,7 +8,8 @@ statistics, a cost model, a what-if optimizer, and a metered executor.
 from .buffer import BufferManager, IoMetrics
 from .btree import BPlusTree
 from .costmodel import Cost, CostParams, MeteredCost
-from .database import Database, TransitionReport
+from .database import (Database, GroundTruthExecution,
+                       TransitionReport)
 from .executor import Executor, QueryResult
 from .index import Index, IndexDef, IndexGeometry
 from .planner import (AccessPath, QueryInfo, analyze_select,
@@ -24,7 +25,8 @@ from .whatif import (PlanEstimate, StatementTemplate,
 
 __all__ = [
     "BufferManager", "IoMetrics", "BPlusTree", "Cost", "CostParams",
-    "MeteredCost", "Database", "TransitionReport", "Executor",
+    "MeteredCost", "Database", "GroundTruthExecution",
+    "TransitionReport", "Executor",
     "QueryResult", "Index", "IndexDef", "IndexGeometry", "AccessPath",
     "QueryInfo", "analyze_select", "choose_access_path",
     "enumerate_access_paths", "Column", "TableSchema", "parse",

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Iterable, Tuple
+from typing import Dict, Iterable, Set, Tuple
 
 PageId = Tuple[int, int]
 
@@ -74,6 +74,9 @@ class BufferManager:
     capacity_pages: int = DEFAULT_CAPACITY_PAGES
     metrics: IoMetrics = field(default_factory=IoMetrics)
     _lru: "OrderedDict[PageId, None]" = field(default_factory=OrderedDict)
+    # Secondary index: cached pages per object, so dropping an object
+    # (index drop) is O(pages of that object), not O(total cached).
+    _by_object: Dict[int, Set[PageId]] = field(default_factory=dict)
     _next_object_id: int = 1
 
     def allocate_object_id(self) -> int:
@@ -113,14 +116,18 @@ class BufferManager:
             self._admit(page_id)
 
     def invalidate_object(self, object_id: int) -> None:
-        """Drop all cached pages of an object (e.g. on index drop)."""
-        stale = [pid for pid in self._lru if pid[0] == object_id]
-        for pid in stale:
+        """Drop all cached pages of an object (e.g. on index drop).
+
+        O(pages of that object) via the per-object page index; the
+        I/O counters are untouched (invalidation is bookkeeping, not
+        I/O)."""
+        for pid in self._by_object.pop(object_id, ()):
             del self._lru[pid]
 
     def clear(self) -> None:
         """Empty the cache (counters are kept; use reset_metrics too)."""
         self._lru.clear()
+        self._by_object.clear()
 
     def reset_metrics(self) -> IoMetrics:
         """Zero the counters, returning the values they had."""
@@ -138,5 +145,11 @@ class BufferManager:
 
     def _admit(self, page_id: PageId) -> None:
         self._lru[page_id] = None
+        self._by_object.setdefault(page_id[0], set()).add(page_id)
         while len(self._lru) > self.capacity_pages:
-            self._lru.popitem(last=False)
+            evicted, _ = self._lru.popitem(last=False)
+            pages = self._by_object.get(evicted[0])
+            if pages is not None:
+                pages.discard(evicted)
+                if not pages:
+                    del self._by_object[evicted[0]]

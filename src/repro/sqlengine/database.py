@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..errors import CatalogError, SqlUnsupportedError
-from .buffer import BufferManager
+from .buffer import BufferManager, IoMetrics
 from .costmodel import CostParams, MeteredCost
 from .executor import Executor, QueryResult
 from .index import Index, IndexDef, structure_sort_key
@@ -40,6 +40,33 @@ class TransitionReport:
 
     def units(self, params: CostParams) -> float:
         return self.metered.total(params)
+
+
+@dataclass
+class GroundTruthExecution:
+    """One statement actually executed, with its I/O ground truth.
+
+    The verification harness compares what-if *estimates* against
+    these: the deterministic metered cost units and the buffer
+    manager's raw :class:`IoMetrics` delta for the statement.
+
+    Attributes:
+        result: rows plus metered cost (``result.access_path`` names
+            the access path the executor actually took).
+        io: buffer-pool counter movement (logical/physical reads,
+            writes) attributable to this statement.
+    """
+
+    result: QueryResult
+    io: IoMetrics
+
+    def units(self, params: CostParams) -> float:
+        return self.result.units(params)
+
+    @property
+    def access_kind(self) -> str:
+        path = self.result.access_path
+        return path.kind if path is not None else "other"
 
 
 class Database:
@@ -242,6 +269,23 @@ class Database:
             return result
         raise SqlUnsupportedError(
             f"cannot execute {type(stmt).__name__}")
+
+    def execute_metered(self, statement: Union[str, Statement]
+                        ) -> GroundTruthExecution:
+        """Execute a statement and capture its I/O ground truth.
+
+        Ground-truth replay hook for the verification harness
+        (:mod:`repro.verify`): runs the statement through the normal
+        executor while snapshotting the buffer pool around it, so the
+        caller gets both the deterministic metered cost and the raw
+        buffer-level :class:`IoMetrics` delta to hold the cost model's
+        estimates against.
+        """
+        before = self.buffer_manager.snapshot()
+        result = self.execute(statement)
+        return GroundTruthExecution(
+            result=result,
+            io=self.buffer_manager.snapshot() - before)
 
     def query(self, sql: str) -> List[Tuple]:
         """Convenience: execute a SELECT and return just the rows."""

@@ -1,0 +1,43 @@
+"""Verification harness: differential testing and invariant checking.
+
+The solvers in :mod:`repro.core` deliberately ship multiple
+implementations of the same optimum (vectorized DP, pure-Python
+reference, explicit graph), and the engine deliberately separates
+estimation (:mod:`repro.sqlengine.whatif`) from execution. This
+package turns that redundancy into an executable oracle with four
+check families:
+
+1. solver equivalence — all solver paths agree exactly (0 ulp);
+2. constrained invariants — every k-aware solution satisfies the
+   paper's constraints (monotone cost, budget, space bound);
+3. cost service — batched estimation is bit-identical to scalar, and
+   cache invalidation tracks the stats epoch;
+4. ground truth — what-if estimates stay within per-access-path
+   budgets of costs metered on the live engine.
+
+Entry points: ``repro verify`` on the command line,
+:func:`~repro.verify.runner.run_verification` from code, and
+``from repro.verify.fixtures import *`` in a test suite's conftest.
+"""
+
+from .checks import (DEFAULT_GROUND_TRUTH_BUDGETS,
+                     check_constrained_invariants, check_cost_service,
+                     check_ground_truth, check_solver_equivalence,
+                     replay_ranking_failures,
+                     solver_agreement_failures)
+from .generators import (MatrixInstance, TraceInstance,
+                         matrix_instances, random_matrix_instance,
+                         random_trace_problem)
+from .report import (CheckFailure, CheckResult, VerificationReport)
+from .runner import run_verification
+
+__all__ = [
+    "DEFAULT_GROUND_TRUTH_BUDGETS",
+    "CheckFailure", "CheckResult", "MatrixInstance", "TraceInstance",
+    "VerificationReport",
+    "check_constrained_invariants", "check_cost_service",
+    "check_ground_truth", "check_solver_equivalence",
+    "matrix_instances", "random_matrix_instance",
+    "random_trace_problem", "replay_ranking_failures",
+    "run_verification", "solver_agreement_failures",
+]

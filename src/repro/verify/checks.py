@@ -1,0 +1,393 @@
+"""The four differential / invariant check families.
+
+1. **Solver equivalence** (:func:`check_solver_equivalence`) — the
+   vectorized DP, the pure-Python reference DP, and the explicit
+   :class:`~repro.core.sequence_graph.SequenceGraph` shortest path
+   must produce the same objective *exactly* (0 ulp). This is not a
+   tolerance shortcut: all three paths accumulate each design's cost
+   as the same left-fold ``((dist + trans) + exec)`` per stage, the
+   canonical :meth:`~repro.core.costmatrix.CostMatrices.sequence_cost`
+   order, and their tie-breaking rules coincide (first-lowest index),
+   so any difference at all is a bug.
+
+2. **Constrained invariants** (:func:`check_constrained_invariants`) —
+   ``cost(k)`` is non-increasing in k, ``cost(k >= l)`` equals the
+   unconstrained optimum exactly, change counts never exceed k, the
+   per-solution invariant hook
+   (:func:`~repro.core.kaware.constrained_invariant_violations`) is
+   clean, and ``SIZE(C_i) <= b`` at every stage.
+
+3. **Cost service** (:func:`check_cost_service`) — the batched
+   :class:`~repro.core.costservice.CostService` matrices are
+   bit-identical to the serial
+   :class:`~repro.core.costmatrix.WhatIfCostProvider` loop and to the
+   service's own scalar path (warm and cold), and a stats-epoch bump
+   actually invalidates the caches without changing values.
+
+4. **Ground truth** (:func:`check_ground_truth`) — what-if estimates
+   stay within a per-access-path relative-error budget of the cost
+   actually metered by executing the statement against the live
+   engine, and the buffer manager's I/O counters are self-consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.costmatrix import (CostMatrices, WhatIfCostProvider,
+                               build_cost_matrices)
+from ..core.costservice import CostService
+from ..core.kaware import (constrained_invariant_violations,
+                           solve_constrained,
+                           solve_constrained_reference)
+from ..core.sequence_graph import (SequenceGraph, solve_unconstrained,
+                                   solve_unconstrained_reference)
+from ..errors import InfeasibleProblemError
+from .generators import MatrixInstance, TraceInstance
+from .report import CheckResult
+
+#: Relative-error budgets for estimate-vs-executed cost units, per
+#: access-path kind. The what-if optimizer and the executor share one
+#: cost model but diverge on estimated vs actual selectivity, so the
+#: scan paths (whose cost is pure geometry) are tight while the seek
+#: paths (whose cost rides on per-value row counts) get slack.
+DEFAULT_GROUND_TRUTH_BUDGETS: Dict[str, float] = {
+    "full_scan": 0.01,
+    "index_only_scan": 0.05,
+    "index_seek": 0.10,
+    "view_scan": 0.05,
+    "other": 0.50,
+}
+
+
+def _max_useful_k(matrices: CostMatrices,
+                  count_initial_change: bool) -> int:
+    unconstrained = solve_unconstrained(matrices)
+    if count_initial_change:
+        return unconstrained.change_count
+    changes = sum(1 for a, b in zip(unconstrained.assignment,
+                                    unconstrained.assignment[1:])
+                  if a != b)
+    return changes
+
+
+# ----------------------------------------------------------------------
+# family 1: solver equivalence
+# ----------------------------------------------------------------------
+
+def check_solver_equivalence(instance: MatrixInstance,
+                             result: CheckResult) -> None:
+    """Cross-check the three unconstrained solver paths and the two
+    constrained solver paths on one instance, exactly."""
+    matrices = instance.matrices
+    label = instance.label
+
+    vec = solve_unconstrained(matrices)
+    ref = solve_unconstrained_reference(matrices)
+    graph = SequenceGraph(matrices).shortest_path()
+    result.check(
+        vec.cost == ref.cost, label,
+        f"unconstrained cost: vectorized {vec.cost!r} != "
+        f"reference {ref.cost!r}")
+    result.check(
+        vec.assignment == ref.assignment, label,
+        f"unconstrained assignment: vectorized {vec.assignment} != "
+        f"reference {ref.assignment}")
+    result.check(
+        matrices.sequence_cost(vec.assignment) == vec.cost, label,
+        f"vectorized cost {vec.cost!r} != canonical sequence cost "
+        f"{matrices.sequence_cost(vec.assignment)!r}")
+    result.check(
+        graph.cost == vec.cost, label,
+        f"graph shortest-path cost {graph.cost!r} != "
+        f"vectorized {vec.cost!r}")
+    result.check(
+        graph.change_count == matrices.change_count(graph.assignment),
+        label,
+        f"graph change count {graph.change_count} != recomputed "
+        f"{matrices.change_count(graph.assignment)}")
+
+    for count_initial in (True, False):
+        mode = f"count_initial={count_initial}"
+        max_k = _max_useful_k(matrices, count_initial)
+        for k in range(0, max_k + 2):
+            where = f"{label} k={k} {mode}"
+            vec_exc = ref_exc = None
+            try:
+                vec_k = solve_constrained(matrices, k, count_initial)
+            except InfeasibleProblemError as exc:
+                vec_exc = exc
+            try:
+                ref_k = solve_constrained_reference(matrices, k,
+                                                    count_initial)
+            except InfeasibleProblemError as exc:
+                ref_exc = exc
+            if not result.check(
+                    (vec_exc is None) == (ref_exc is None), where,
+                    f"feasibility disagreement: vectorized raised "
+                    f"{vec_exc!r}, reference raised {ref_exc!r}"):
+                continue
+            if vec_exc is not None:
+                continue
+            result.check(
+                vec_k.cost == ref_k.cost, where,
+                f"constrained cost: vectorized {vec_k.cost!r} != "
+                f"reference {ref_k.cost!r}")
+            result.check(
+                vec_k.assignment == ref_k.assignment, where,
+                f"constrained assignment: vectorized "
+                f"{vec_k.assignment} != reference {ref_k.assignment}")
+            result.check(
+                vec_k.change_count == ref_k.change_count, where,
+                f"constrained change count: vectorized "
+                f"{vec_k.change_count} != reference "
+                f"{ref_k.change_count}")
+
+
+# ----------------------------------------------------------------------
+# family 2: constrained-solver invariants
+# ----------------------------------------------------------------------
+
+def check_constrained_invariants(instance: MatrixInstance,
+                                 result: CheckResult) -> None:
+    """Invariants of the k sweep on one instance (see module
+    docstring, family 2)."""
+    matrices = instance.matrices
+    unconstrained = solve_unconstrained(matrices)
+    for count_initial in (True, False):
+        mode = f"count_initial={count_initial}"
+        max_k = _max_useful_k(matrices, count_initial)
+        previous_cost: Optional[float] = None
+        for k in range(0, max_k + 2):
+            where = f"{instance.label} k={k} {mode}"
+            solved = solve_constrained(matrices, k, count_initial)
+            violations = constrained_invariant_violations(
+                matrices, solved, k,
+                count_initial_change=count_initial,
+                size_fn=instance.size_of,
+                space_bound_bytes=instance.space_bound_bytes)
+            if violations:
+                result.failed(where, "; ".join(violations))
+            else:
+                result.passed()
+            result.check(
+                previous_cost is None or solved.cost <= previous_cost,
+                where,
+                f"cost(k) increased: cost({k}) = {solved.cost!r} > "
+                f"cost({k - 1}) = {previous_cost!r}")
+            previous_cost = solved.cost
+            if k >= max_k:
+                result.check(
+                    solved.cost == unconstrained.cost, where,
+                    f"cost at k={k} >= l={max_k} is {solved.cost!r}, "
+                    f"unconstrained optimum is "
+                    f"{unconstrained.cost!r}")
+
+
+def solver_agreement_failures(matrices: CostMatrices, k: int,
+                              count_initial_change: bool,
+                              label: str = "experiment"
+                              ) -> List[str]:
+    """The experiments' end-of-run verify pass, on real matrices.
+
+    Runs the solver-equivalence family (plus the invariant hook at the
+    experiment's k) on one :class:`CostMatrices` and returns formatted
+    failure strings. Called by the ``run_*`` experiment functions; a
+    non-empty return means the figures upstream cannot be trusted.
+    """
+    result = CheckResult("experiment-verify",
+                         "post-experiment solver agreement")
+    vec = solve_unconstrained(matrices)
+    ref = solve_unconstrained_reference(matrices)
+    graph = SequenceGraph(matrices).shortest_path()
+    result.check(vec.cost == ref.cost, label,
+                 f"unconstrained: vectorized {vec.cost!r} != "
+                 f"reference {ref.cost!r}")
+    result.check(graph.cost == vec.cost, label,
+                 f"unconstrained: graph {graph.cost!r} != "
+                 f"vectorized {vec.cost!r}")
+    solved = solve_constrained(matrices, k, count_initial_change)
+    reference = solve_constrained_reference(matrices, k,
+                                            count_initial_change)
+    result.check(solved.cost == reference.cost, label,
+                 f"k={k}: vectorized {solved.cost!r} != "
+                 f"reference {reference.cost!r}")
+    violations = constrained_invariant_violations(
+        matrices, solved, k,
+        count_initial_change=count_initial_change)
+    for violation in violations:
+        result.failed(label, violation)
+    return [failure.format() for failure in result.failures]
+
+
+# ----------------------------------------------------------------------
+# family 3: cost-service bit-identity and invalidation
+# ----------------------------------------------------------------------
+
+def check_cost_service(instance: TraceInstance,
+                       result: CheckResult) -> None:
+    """Batch vs scalar bit-identity and epoch invalidation (family 3)."""
+    problem = instance.problem
+    service = instance.service
+    optimizer = service.optimizer
+    label = instance.label
+    segments = problem.segments
+    configs = problem.configurations
+
+    batch_exec = service.exec_matrix(segments, configs)
+    batch_trans = service.trans_matrix(configs)
+
+    serial = build_cost_matrices(problem, WhatIfCostProvider(optimizer))
+    result.check(
+        np.array_equal(batch_exec, serial.exec_matrix), label,
+        "batched EXEC matrix differs from the serial "
+        "WhatIfCostProvider loop (max abs diff "
+        f"{np.max(np.abs(batch_exec - serial.exec_matrix))!r})")
+    result.check(
+        np.array_equal(batch_trans, serial.trans_matrix), label,
+        "batched TRANS matrix differs from the serial loop (max abs "
+        f"diff {np.max(np.abs(batch_trans - serial.trans_matrix))!r})")
+
+    # The service's own scalar path — warm (L1 hits from the batch)
+    # and cold (a fresh service routing through templates) — must
+    # reproduce every matrix entry bitwise.
+    cold = CostService(optimizer)
+    for i, segment in enumerate(segments):
+        for j, config in enumerate(configs):
+            warm_units = service.exec_cost(segment, config)
+            result.check(
+                warm_units == batch_exec[i, j],
+                f"{label} segment={i} config={config.label}",
+                f"warm scalar exec_cost {warm_units!r} != batch "
+                f"matrix entry {batch_exec[i, j]!r}")
+            cold_units = cold.exec_cost(segment, config)
+            result.check(
+                cold_units == batch_exec[i, j],
+                f"{label} segment={i} config={config.label}",
+                f"cold scalar exec_cost {cold_units!r} != batch "
+                f"matrix entry {batch_exec[i, j]!r}")
+    for i, old in enumerate(configs):
+        for j, new in enumerate(configs):
+            units = service.trans_cost(old, new)
+            result.check(
+                units == batch_trans[i, j],
+                f"{label} {old.label}->{new.label}",
+                f"scalar trans_cost {units!r} != batch matrix entry "
+                f"{batch_trans[i, j]!r}")
+
+    # Epoch invalidation: bumping the optimizer's stats epoch must
+    # drop the caches (new what-if calls are issued) without changing
+    # values when the stats themselves are unchanged.
+    calls_before = service.stats.whatif_calls
+    optimizer.refresh_stats(
+        {name: instance.db.stats(name) for name in instance.db.tables})
+    service.exec_cost(segments[0], configs[0])
+    result.check(
+        service.stats.whatif_calls > calls_before, label,
+        "stats-epoch bump did not invalidate the cost-service caches "
+        "(no new what-if calls after refresh_stats)")
+    rebuilt = service.exec_matrix(segments, configs)
+    result.check(
+        np.array_equal(rebuilt, batch_exec), label,
+        "EXEC matrix rebuilt after an identical-stats epoch bump "
+        "differs from the original")
+
+
+# ----------------------------------------------------------------------
+# family 4: cost model vs executed ground truth
+# ----------------------------------------------------------------------
+
+def check_ground_truth(
+        instance: TraceInstance, result: CheckResult,
+        budgets: Optional[Dict[str, float]] = None,
+        statements_per_segment: int = 3,
+        configs_to_deploy: Optional[Sequence] = None) -> None:
+    """Estimates vs live execution, per access path (family 4).
+
+    Deploys a few candidate configurations for real, executes a sample
+    of the trace under each, and holds the what-if estimate for every
+    executed statement to a per-access-path relative-error budget
+    against the metered cost units. Also asserts the buffer manager's
+    :class:`~repro.sqlengine.buffer.IoMetrics` deltas are
+    self-consistent. Leaves the database in the empty design.
+    """
+    db = instance.db
+    budgets = dict(DEFAULT_GROUND_TRUTH_BUDGETS, **(budgets or {}))
+    if configs_to_deploy is None:
+        # Empty design plus the first two single-index candidates:
+        # covers full scans, seeks, and index-only scans.
+        configs_to_deploy = instance.problem.configurations[:3]
+    sample = []
+    for segment in instance.problem.segments:
+        sample.extend(list(segment)[:statements_per_segment])
+    for config in configs_to_deploy:
+        db.apply_configuration(set(config))
+        optimizer = db.what_if()
+        for statement in sample:
+            estimate = optimizer.estimate_statement(
+                statement.ast, config.structures).units
+            ground = db.execute_metered(statement.ast)
+            actual = ground.units(db.params)
+            kind = ground.access_kind
+            budget = budgets.get(kind, budgets["other"])
+            where = (f"{instance.label} config={config.label} "
+                     f"kind={kind} sql={statement.sql!r}")
+            error = abs(estimate - actual) / max(abs(actual), 1.0)
+            result.check(
+                error <= budget, where,
+                f"estimate {estimate:.3f} vs executed {actual:.3f} "
+                f"units: relative error {error:.3f} exceeds the "
+                f"{kind} budget {budget}")
+            io = ground.io
+            result.check(
+                0 <= io.physical_reads <= io.logical_reads, where,
+                f"inconsistent IoMetrics: physical={io.physical_reads}"
+                f" logical={io.logical_reads}")
+            result.check(
+                io.physical_writes >= 0, where,
+                f"negative physical_writes {io.physical_writes}")
+    db.apply_configuration(set())
+
+
+def replay_ranking_failures(
+        metered_totals: Dict[Tuple[str, str], float],
+        estimated_totals: Dict[Tuple[str, str], float],
+        label: str = "figure3") -> List[str]:
+    """Figure 3's verify pass: the cost model and the live engine must
+    *rank* every pair of (workload, design) replays the same way.
+
+    Absolute units differ between the two (estimates price each
+    statement in isolation; the metered replay shares one buffer
+    pool), but if any pairwise ordering flips, the estimated and
+    measured versions of Figure 3 tell different stories.
+    """
+    failures: List[str] = []
+    keys = sorted(metered_totals)
+    if sorted(estimated_totals) != keys:
+        return [f"[{label}] replay key sets differ: "
+                f"{keys} vs {sorted(estimated_totals)}"]
+    for a_index, a in enumerate(keys):
+        for b in keys[a_index + 1:]:
+            metered_order = _order(metered_totals[a],
+                                   metered_totals[b])
+            estimated_order = _order(estimated_totals[a],
+                                     estimated_totals[b])
+            if metered_order != estimated_order and \
+                    0 not in (metered_order, estimated_order):
+                failures.append(
+                    f"[{label}] ranking flip for {a} vs {b}: metered "
+                    f"{metered_totals[a]:.1f} vs "
+                    f"{metered_totals[b]:.1f}, estimated "
+                    f"{estimated_totals[a]:.1f} vs "
+                    f"{estimated_totals[b]:.1f}")
+    return failures
+
+
+def _order(a: float, b: float, rel_tol: float = 0.02) -> int:
+    """-1 / 0 / 1 ordering with a tolerance band: totals within
+    ``rel_tol`` of each other count as tied (either order fine)."""
+    if abs(a - b) <= rel_tol * max(abs(a), abs(b), 1.0):
+        return 0
+    return -1 if a < b else 1

@@ -1,0 +1,177 @@
+"""Instance generators feeding the verification checks.
+
+Two kinds of instance:
+
+* :func:`random_matrix_instance` — a synthetic :class:`~repro.core.
+  costmatrix.CostMatrices` with per-configuration sizes and a space
+  bound. Seeds cycle through variants that historically shook out
+  solver bugs: continuous costs, integer-quantized costs (forcing
+  exact ties so tie-breaking rules are exercised), zero transition
+  costs, and sparse zero execution costs.
+
+* :func:`random_trace_problem` — a small *live* setup: a populated
+  :class:`~repro.sqlengine.database.Database`, a randomly-mixed
+  point-query workload over it, a :class:`~repro.core.problem.
+  ProblemInstance` on the paper's candidate space, and a shared
+  :class:`~repro.core.costservice.CostService`. The cost-service and
+  ground-truth families run against these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.costmatrix import CostMatrices
+from ..core.costservice import CostService
+from ..core.problem import ProblemInstance
+from ..core.structures import (Configuration, EMPTY_CONFIGURATION,
+                               single_index_configurations)
+from ..sqlengine.database import Database
+from ..sqlengine.index import IndexDef
+from ..workload.mixes import (PAPER_MIXES, PAPER_VALUE_RANGE,
+                              paper_generator)
+from ..workload.generator import workload_from_block_mixes
+from ..workload.model import Workload
+from ..workload.segmentation import segment_by_count
+
+
+@dataclass(frozen=True)
+class MatrixInstance:
+    """One synthetic problem for the matrix-level check families.
+
+    Attributes:
+        label: identifies the instance in failure messages.
+        matrices: the EXEC/TRANS matrices.
+        sizes: bytes per configuration column (aligned with
+            ``matrices.configurations``).
+        space_bound_bytes: bound every candidate satisfies (the SIZE
+            invariant must therefore hold for any solver output).
+    """
+
+    label: str
+    matrices: CostMatrices
+    sizes: Tuple[int, ...]
+    space_bound_bytes: int
+
+    def size_of(self, cfg_index: int) -> int:
+        return self.sizes[cfg_index]
+
+
+def synthetic_configurations(n: int) -> Tuple[Configuration, ...]:
+    """``n`` distinct configurations: empty plus single synthetic
+    indexes (the verification checks only need identity, not
+    structure)."""
+    configs: List[Configuration] = [EMPTY_CONFIGURATION]
+    configs.extend(Configuration({IndexDef("t", (f"v{i}",))})
+                   for i in range(n - 1))
+    return tuple(configs)
+
+
+def random_matrix_instance(seed: int) -> MatrixInstance:
+    """A randomized :class:`MatrixInstance`; deterministic per seed.
+
+    Seeds cycle through four cost variants (continuous / quantized /
+    zero-TRANS / sparse-zero-EXEC) and alternate between pinned and
+    free final configurations.
+    """
+    rng = np.random.default_rng(seed)
+    n_seg = int(rng.integers(2, 9))
+    n_cfg = int(rng.integers(2, 7))
+    exec_matrix = rng.uniform(0.0, 100.0, (n_seg, n_cfg))
+    trans_matrix = rng.uniform(0.0, 50.0, (n_cfg, n_cfg))
+    variant = seed % 4
+    if variant == 1:
+        # Integer-quantized costs: equal-cost paths become common, so
+        # tie-breaking rules are actually exercised.
+        exec_matrix = np.floor(exec_matrix / 10.0) * 10.0
+        trans_matrix = np.floor(trans_matrix / 10.0) * 10.0
+    elif variant == 2:
+        trans_matrix = np.zeros_like(trans_matrix)
+    elif variant == 3:
+        exec_matrix[rng.uniform(size=exec_matrix.shape) < 0.4] = 0.0
+    np.fill_diagonal(trans_matrix, 0.0)
+
+    initial_index = int(rng.integers(0, n_cfg))
+    final_index = None
+    if rng.uniform() < 0.5:
+        final_index = int(rng.integers(0, n_cfg))
+    matrices = CostMatrices(
+        configurations=synthetic_configurations(n_cfg),
+        exec_matrix=exec_matrix,
+        trans_matrix=trans_matrix,
+        initial_index=initial_index,
+        final_index=final_index)
+    sizes = tuple(int(s) * 1024
+                  for s in rng.integers(0, 16, n_cfg))
+    label = (f"matrices[seed={seed}] "
+             f"({n_seg}x{n_cfg}, variant={variant}, "
+             f"final={'pinned' if final_index is not None else 'free'})")
+    return MatrixInstance(label=label, matrices=matrices, sizes=sizes,
+                          space_bound_bytes=max(sizes))
+
+
+def matrix_instances(seed: int, count: int) -> List[MatrixInstance]:
+    """``count`` instances seeded ``seed .. seed+count-1``."""
+    return [random_matrix_instance(seed + i) for i in range(count)]
+
+
+@dataclass
+class TraceInstance:
+    """One live database + workload for the engine-level families.
+
+    Attributes:
+        label: identifies the instance in failure messages.
+        db: populated database (table ``t`` with columns a, b, c, d).
+        workload: the blocked point-query trace.
+        problem: segmented problem over the paper's candidate space.
+        service: cost service wrapping ``db``'s what-if optimizer.
+    """
+
+    label: str
+    db: Database
+    workload: Workload
+    problem: ProblemInstance
+    service: CostService
+
+
+def random_trace_problem(seed: int, nrows: int = 20_000,
+                         n_blocks: int = 6,
+                         block_size: int = 40) -> TraceInstance:
+    """A small live instance with a randomly-shuffled block-mix trace.
+
+    The table matches the paper's (a, b, c, d uniform over
+    ``PAPER_VALUE_RANGE``); the workload draws ``n_blocks`` mixes at
+    random from Table 1's A-D, so different seeds stress different
+    shift patterns.
+    """
+    rng = np.random.default_rng(seed)
+    db = Database()
+    db.create_table("t", [("a", "INTEGER"), ("b", "INTEGER"),
+                          ("c", "INTEGER"), ("d", "INTEGER")])
+    lo, hi = PAPER_VALUE_RANGE
+    db.bulk_load("t", {column: rng.integers(lo, hi, nrows)
+                       for column in ("a", "b", "c", "d")})
+    mix_names = list(PAPER_MIXES)
+    block_mixes = [PAPER_MIXES[mix_names[int(rng.integers(0, len(
+        mix_names)))]] for _ in range(n_blocks)]
+    generator = paper_generator(seed=seed + 1)
+    workload = workload_from_block_mixes(
+        generator, block_mixes, block_size,
+        name=f"verify-trace-{seed}")
+    candidates = [IndexDef("t", ("a",)), IndexDef("t", ("b",)),
+                  IndexDef("t", ("c",)), IndexDef("t", ("d",)),
+                  IndexDef("t", ("a", "b")), IndexDef("t", ("c", "d"))]
+    problem = ProblemInstance(
+        segments=tuple(segment_by_count(workload, block_size)),
+        configurations=single_index_configurations(candidates),
+        initial=EMPTY_CONFIGURATION, k=2,
+        final=EMPTY_CONFIGURATION)
+    service = CostService(db.what_if())
+    label = (f"trace[seed={seed}] ({nrows} rows, {n_blocks} blocks "
+             f"of {block_size}, mixes="
+             f"{''.join(m.name for m in block_mixes)})")
+    return TraceInstance(label=label, db=db, workload=workload,
+                         problem=problem, service=service)

@@ -1,0 +1,76 @@
+"""Orchestration: one call runs every check family.
+
+:func:`run_verification` drives the four families over a batch of
+randomized matrix instances and one or more live trace instances,
+returning a :class:`~repro.verify.report.VerificationReport`. The
+``repro verify`` CLI subcommand and the CI quick gate are thin
+wrappers around it.
+
+``quick`` shrinks the *live-engine* work (fewer rows, fewer blocks,
+one trace instead of two); it never reduces the randomized solver
+instances below the requested count — the solver-equivalence family
+is cheap and is the one that must cover >= 50 instances in CI.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from .checks import (check_constrained_invariants, check_cost_service,
+                     check_ground_truth, check_solver_equivalence)
+from .generators import matrix_instances, random_trace_problem
+from .report import CheckResult, VerificationReport
+
+
+def run_verification(seed: int = 0, instances: int = 50,
+                     quick: bool = False,
+                     nrows: Optional[int] = None,
+                     traces: Optional[int] = None
+                     ) -> VerificationReport:
+    """Run all four check families.
+
+    Args:
+        seed: base seed; instance i uses ``seed + i``.
+        instances: randomized matrix instances for families 1-2.
+        quick: shrink the live-engine families (CI gate scale).
+        nrows: table rows per trace instance (default 4000 quick,
+            20000 full).
+        traces: live trace instances (default 1 quick, 2 full).
+    """
+    start = time.perf_counter()
+    if nrows is None:
+        nrows = 4_000 if quick else 20_000
+    if traces is None:
+        traces = 1 if quick else 2
+    n_blocks = 4 if quick else 6
+    block_size = 25 if quick else 40
+
+    solvers = CheckResult(
+        "solvers", "vectorized DP == reference DP == explicit graph "
+                   "shortest path, exactly")
+    invariants = CheckResult(
+        "invariants", "cost(k) monotone, cost(k>=l) == unconstrained, "
+                      "changes <= k, SIZE(C_i) <= b")
+    costservice = CheckResult(
+        "costservice", "batched matrices bit-identical to scalar "
+                       "estimation; epoch invalidation works")
+    groundtruth = CheckResult(
+        "groundtruth", "what-if estimates within budget of executed "
+                       "metered cost; IoMetrics consistent")
+
+    for instance in matrix_instances(seed, instances):
+        check_solver_equivalence(instance, solvers)
+        check_constrained_invariants(instance, invariants)
+
+    for t in range(traces):
+        trace = random_trace_problem(seed + t, nrows=nrows,
+                                     n_blocks=n_blocks,
+                                     block_size=block_size)
+        check_cost_service(trace, costservice)
+        check_ground_truth(trace, groundtruth)
+
+    report = VerificationReport(
+        results=[solvers, invariants, costservice, groundtruth])
+    report.seconds = time.perf_counter() - start
+    return report

@@ -75,6 +75,41 @@ class TestCandidateGeneration:
         assert Configuration({A, B}) not in greedy.configurations
         assert configs[1] in greedy.configurations
 
+    def test_oversized_initial_is_kept(self):
+        """Regression: the space-bound filter used to drop the
+        *initial* configuration too, leaving the reduced problem
+        without its C0 (the initial already exists on disk — the bound
+        constrains what may be built, not what is)."""
+        sizes = {Configuration({A}): 10, Configuration({B}): 10,
+                 Configuration({A, B}): 20}
+        segments, configs, provider = make_setup([1, 2], sizes=sizes)
+        greedy = greedy_seq_candidates(
+            segments, [A, B], provider,
+            initial=Configuration({A, B}), space_bound_bytes=15)
+        assert Configuration({A, B}) in greedy.configurations
+
+    def test_oversized_required_final_raises(self):
+        """Regression: an unbuildable required final used to be
+        silently dropped, producing an InfeasibleProblemError (or a
+        wrong design) far downstream instead of a clear error here."""
+        from repro.errors import DesignError
+        sizes = {Configuration({A}): 10, Configuration({B}): 10,
+                 Configuration({A, B}): 20}
+        segments, configs, provider = make_setup([1, 2], sizes=sizes)
+        with pytest.raises(DesignError, match="space bound"):
+            greedy_seq_candidates(
+                segments, [A, B], provider,
+                final=Configuration({A, B}), space_bound_bytes=15)
+
+    def test_in_bound_final_is_kept(self):
+        sizes = {Configuration({A}): 10, Configuration({B}): 10,
+                 Configuration({A, B}): 20}
+        segments, configs, provider = make_setup([1, 1], sizes=sizes)
+        greedy = greedy_seq_candidates(
+            segments, [A, B], provider,
+            final=Configuration({B}), space_bound_bytes=15)
+        assert Configuration({B}) in greedy.configurations
+
     def test_union_window_widens_candidates(self):
         segments, configs, provider = make_setup([1, 2, 3])
         narrow = greedy_seq_candidates(segments, [A, B, C], provider,

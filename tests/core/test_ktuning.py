@@ -3,13 +3,16 @@
 import numpy as np
 import pytest
 
-from repro.core import (EMPTY_CONFIGURATION, ProblemInstance,
+from repro.core import (Configuration, EMPTY_CONFIGURATION,
+                        MatrixCostProvider, ProblemInstance,
                         build_cost_matrices, knee_k, sweep_k,
                         validated_k)
 from repro.core.ktuning import KSweepResult
 from repro.errors import DesignError
-from repro.workload import (make_paper_workload, paper_generator,
-                            segment_by_count, standard_variations)
+from repro.sqlengine import IndexDef
+from repro.workload import (Statement, Workload, make_paper_workload,
+                            paper_generator, segment_by_count,
+                            standard_variations)
 
 from .helpers import random_matrices
 
@@ -81,6 +84,29 @@ class TestKneeK:
                              unconstrained_changes=3)
         assert knee_k(sweep) == 3
 
+    def test_convex_curve_with_gate_returns_smallest_gated_k(self):
+        """Regression: on a convex curve every point sits on/above the
+        chord, so the masked kneedle scores peak at a boundary zero
+        and ``argmax`` used to hand back the *last* point. The
+        documented fallback is the smallest k clearing the
+        cumulative-gain gate."""
+        sweep = KSweepResult(ks=(0, 1, 2, 3),
+                             costs=(100.0, 95.0, 80.0, 0.0),
+                             unconstrained_cost=0.0,
+                             unconstrained_changes=3)
+        assert knee_k(sweep, min_relative_gain=0.05) == 1
+
+    def test_gate_filtering_every_point_returns_largest(self):
+        """Regression: a gate above 1.0 filters every point (cumulative
+        gain tops out at 1.0), and ``np.argmax`` over the resulting
+        all ``-inf`` scores silently picked index 0 — reporting the
+        *smallest* budget precisely when the caller demanded the most
+        gain. The explicit fallback is the largest k."""
+        sweep = KSweepResult(ks=(0, 1, 2), costs=(100.0, 50.0, 20.0),
+                             unconstrained_cost=20.0,
+                             unconstrained_changes=2)
+        assert knee_k(sweep, min_relative_gain=1.5) == 2
+
     def test_paper_workload_knee_is_the_major_shift_count(
             self, small_matrices):
         """On W1, the knee of the cost curve should be ~2 — the number
@@ -125,6 +151,30 @@ class TestValidatedK:
 
     def test_designs_recorded_per_k(self, tuned):
         assert set(tuned.designs) == set(tuned.ks)
+
+    def test_zero_cost_validation_ties_break_to_smaller_k(self):
+        """Regression: the tie tolerance was purely relative, so when
+        the best validation cost is exactly 0, a smaller k costing
+        1e-15 could never tie with it and the larger (more overfit)
+        budget won. The absolute floor restores the smaller-k
+        preference."""
+        statements = [Statement("SELECT a FROM t WHERE a = 0"),
+                      Statement("SELECT a FROM t WHERE a = 1")]
+        workload = Workload(statements, name="zero-cost")
+        segments = segment_by_count(workload, 1)
+        configs = (EMPTY_CONFIGURATION,
+                   Configuration({IndexDef("t", ("a",))}))
+        provider = MatrixCostProvider(
+            segments, configs,
+            exec_matrix=np.array([[1e-15, 0.0], [0.0, 0.0]]),
+            trans_matrix=np.zeros((2, 2)))
+        problem = ProblemInstance(segments=tuple(segments),
+                                  configurations=configs,
+                                  initial=EMPTY_CONFIGURATION)
+        tuned = validated_k(problem, provider, [workload],
+                            block_size=1, ks=[0, 1])
+        assert tuned.validation_costs == [1e-15, 0.0]
+        assert tuned.best_k == 0
 
     def test_mismatched_variation_length_raises(
             self, small_problem, small_provider):

@@ -83,6 +83,45 @@ class TestLru:
         assert buffer.read_page((2, 0))      # still cached
         assert not buffer.read_page((1, 0))  # gone
 
+    def test_invalidate_object_preserves_metrics(self):
+        """Regression: invalidation is bookkeeping, not I/O — it used
+        to rebuild the LRU by replaying reads, inflating the counters
+        that Figure 3's execution-time metric is derived from."""
+        buffer = BufferManager()
+        buffer.read_range(1, 3)
+        buffer.read_range(2, 2)
+        before = buffer.snapshot()
+        buffer.invalidate_object(1)
+        after = buffer.metrics
+        assert after.logical_reads == before.logical_reads
+        assert after.physical_reads == before.physical_reads
+        assert after.physical_writes == before.physical_writes
+
+    def test_invalidate_missing_object_is_a_noop(self):
+        buffer = BufferManager()
+        buffer.read_range(1, 2)
+        buffer.invalidate_object(99)
+        assert buffer.cached_pages == 2
+
+    def test_per_object_index_stays_consistent_across_eviction(self):
+        """Eviction must unhook pages from the per-object index so a
+        later invalidate doesn't try to delete already-evicted pages."""
+        buffer = BufferManager(capacity_pages=2)
+        buffer.read_range(1, 2)
+        buffer.read_page((2, 0))   # evicts (1, 0)
+        buffer.invalidate_object(1)
+        assert buffer.cached_pages == 1
+        assert buffer.read_page((2, 0))
+        # Fully-evicted objects leave no empty set behind.
+        assert 1 not in buffer._by_object
+
+    def test_invalidated_pages_can_be_recached(self):
+        buffer = BufferManager()
+        buffer.write_page((1, 0))
+        buffer.invalidate_object(1)
+        assert not buffer.read_page((1, 0))  # miss again
+        assert buffer.read_page((1, 0))      # and re-admitted
+
 
 class TestWritesAndIds:
     def test_write_counts_and_caches(self):

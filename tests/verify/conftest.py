@@ -1,0 +1,4 @@
+"""The verification harness doubles as a pytest fixture library;
+this is the documented one-line import that activates it."""
+
+from repro.verify.fixtures import *  # noqa: F401,F403
