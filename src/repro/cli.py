@@ -12,11 +12,16 @@ Commands:
   (several advisors + a k sweep) against one shared
   :class:`~repro.core.costservice.CostService` and report what-if
   calls issued/avoided, cache hit rates, and costing wall time per run.
+* ``explain`` — print the costed physical-plan tree for one SELECT
+  against a synthesized table, optionally under a hypothetical
+  configuration of indexes/views (the what-if catalog substitution
+  the advisor relies on).
 * ``experiment`` — regenerate a table/figure of the paper.
 * ``verify`` — the differential verification harness: cross-check the
   solver implementations against each other, the constrained-solver
-  invariants, cost-service bit-identity, and what-if estimates against
-  live execution; exits non-zero on any disagreement.
+  invariants, cost-service bit-identity, what-if estimates against
+  live execution, and what-if plan trees against executor plan trees;
+  exits non-zero on any disagreement.
 
 The CLI is self-contained: ``recommend`` infers the schema from the
 trace's queries and populates a synthetic table, so no database setup
@@ -43,7 +48,8 @@ from .core.structures import (EMPTY_CONFIGURATION,
 from .errors import ReproError
 from .sqlengine.database import Database
 from .sqlengine.index import IndexDef
-from .sqlengine.sql.ast import SelectStmt
+from .sqlengine.sql.ast import Between, SelectStmt
+from .sqlengine.views import ViewDef
 from .workload.analysis import detect_shifts
 from .workload.mixes import make_paper_workload, paper_generator
 from .workload.model import Workload
@@ -132,6 +138,25 @@ def _build_parser() -> argparse.ArgumentParser:
     costs.add_argument("--rows", type=int, default=100_000)
     costs.add_argument("--seed", type=int, default=0)
     costs.set_defaults(handler=_cmd_costs)
+
+    explain = sub.add_parser(
+        "explain", help="print the costed physical-plan tree for a "
+                        "SELECT (optionally under a hypothetical "
+                        "index/view configuration)")
+    explain.add_argument("sql", help="the SELECT statement")
+    explain.add_argument("--index", action="append", default=[],
+                         metavar="COLS",
+                         help="hypothetical index key columns, comma-"
+                              "separated (repeatable)")
+    explain.add_argument("--view", action="append", default=[],
+                         metavar="COLS",
+                         help="hypothetical projection-view columns, "
+                              "comma-separated (repeatable)")
+    explain.add_argument("--rows", type=int, default=5_000,
+                         help="rows in the synthesized table "
+                              "(default 5000)")
+    explain.add_argument("--seed", type=int, default=0)
+    explain.set_defaults(handler=_cmd_explain)
 
     experiment = sub.add_parser(
         "experiment", help="regenerate a table/figure of the paper")
@@ -291,6 +316,78 @@ def _cmd_costs(args) -> int:
           f"{totals.batch_calls} batched matrix builds, "
           f"{(totals.exec_seconds + totals.trans_seconds) * 1e3:.1f}ms "
           f"estimating")
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    from .sqlengine.sql.parser import parse
+    from .workload.mixes import PAPER_VALUE_RANGE
+    stmt = parse(args.sql)
+    if not isinstance(stmt, SelectStmt):
+        print("error: explain supports only SELECT statements",
+              file=sys.stderr)
+        return 2
+    # Infer the schema from the statement itself: every referenced
+    # column becomes an INTEGER column spanning its observed constants
+    # (the paper's value range when the statement names none).
+    columns = set()
+    if stmt.columns != ("*",):
+        columns.update(stmt.columns)
+    for aggregate in stmt.aggregates:
+        if aggregate.column is not None:
+            columns.add(aggregate.column)
+    if stmt.group_by is not None:
+        columns.add(stmt.group_by)
+    if stmt.order_by is not None:
+        columns.add(stmt.order_by.column)
+    spans: Dict[str, Tuple[int, int]] = {}
+    if stmt.where is not None:
+        for predicate in stmt.where.predicates:
+            columns.add(predicate.column)
+            values = [predicate.lo, predicate.hi] \
+                if isinstance(predicate, Between) \
+                else [getattr(predicate, "value", None)]
+            for value in values:
+                if not isinstance(value, int):
+                    continue
+                lo, hi = spans.get(predicate.column, (value, value))
+                spans[predicate.column] = (min(lo, value),
+                                           max(hi, value))
+    config = [IndexDef(stmt.table,
+                       tuple(c.strip() for c in spec.split(",")))
+              for spec in args.index]
+    config.extend(ViewDef(stmt.table,
+                          tuple(c.strip() for c in spec.split(",")))
+                  for spec in args.view)
+    # Hypothetical structures may key columns the statement never
+    # names; the synthesized table must still store them.
+    for structure in config:
+        columns.update(structure.columns)
+    if not columns:
+        print("error: cannot infer a schema from the statement "
+              "(SELECT * with no predicates)", file=sys.stderr)
+        return 2
+    default_lo, default_hi = PAPER_VALUE_RANGE
+    db = Database()
+    db.create_table(stmt.table,
+                    [(c, "INTEGER") for c in sorted(columns)])
+    rng = np.random.default_rng(args.seed)
+    db.bulk_load(stmt.table, {
+        column: rng.integers(
+            min(spans.get(column, (default_lo, default_hi))[0],
+                default_lo),
+            max(spans.get(column, (default_lo, default_hi))[1],
+                default_hi) + 1,
+            args.rows)
+        for column in sorted(columns)})
+    print(f"synthesized table {stmt.table!r}: {args.rows} rows, "
+          f"columns {sorted(columns)}")
+    if config:
+        print("hypothetical configuration: "
+              f"{', '.join(d.label for d in config)}")
+        print(db.explain(stmt, config=config))
+    else:
+        print(db.explain(stmt))
     return 0
 
 

@@ -3,8 +3,11 @@
 All design algorithms consume costs through the :class:`CostProvider`
 protocol: ``exec_cost(segment, config)``, ``trans_cost(old, new)`` and
 ``size_bytes(config)``. The primary implementation wraps the engine's
-what-if optimizer; a matrix-backed provider supports synthetic tests
-and replays.
+what-if optimizer, whose estimates are produced by costing the same
+physical-plan IR (:mod:`repro.sqlengine.plan`) the executor runs — so
+every EXEC entry in these matrices is the estimate of a concrete,
+runnable operator tree. A matrix-backed provider supports synthetic
+tests and replays.
 
 For the graph/DP algorithms the costs are materialized once into dense
 NumPy matrices (:class:`CostMatrices`): ``exec_matrix[i, j]`` is

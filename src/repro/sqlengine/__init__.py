@@ -2,7 +2,8 @@
 
 Everything the paper's experiments needed from SQL Server, rebuilt:
 page-organized heap storage, B+-tree indexes, a SQL subset front end,
-statistics, a cost model, a what-if optimizer, and a metered executor.
+statistics, a cost model, a single physical-plan IR shared by the
+planner / executor / what-if optimizer, and a metered executor.
 """
 
 from .buffer import BufferManager, IoMetrics
@@ -12,6 +13,9 @@ from .database import (Database, GroundTruthExecution,
                        TransitionReport)
 from .executor import Executor, QueryResult
 from .index import Index, IndexDef, IndexGeometry
+from .plan import (Aggregate, FetchHeap, Filter, GroupAggregate,
+                   PlanNode, PlanRuntime, Project, ScanHeap,
+                   ScanIndexLeaf, ScanView, SeekIndex, Sort)
 from .planner import (AccessPath, QueryInfo, analyze_select,
                       choose_access_path, enumerate_access_paths)
 from .schema import Column, TableSchema
@@ -27,7 +31,10 @@ __all__ = [
     "BufferManager", "IoMetrics", "BPlusTree", "Cost", "CostParams",
     "MeteredCost", "Database", "GroundTruthExecution",
     "TransitionReport", "Executor",
-    "QueryResult", "Index", "IndexDef", "IndexGeometry", "AccessPath",
+    "QueryResult", "Index", "IndexDef", "IndexGeometry", "PlanNode",
+    "PlanRuntime", "ScanHeap", "SeekIndex", "ScanIndexLeaf",
+    "ScanView", "Filter", "FetchHeap", "Sort", "Project", "Aggregate",
+    "GroupAggregate", "AccessPath",
     "QueryInfo", "analyze_select", "choose_access_path",
     "enumerate_access_paths", "Column", "TableSchema", "parse",
     "ColumnStats", "EquiDepthHistogram", "TableStats", "HeapTable",

@@ -50,7 +50,12 @@ class CostParams:
     cpu_tuple_cost: float = 0.001
     cpu_index_tuple_cost: float = 0.0005
     cpu_sort_factor: float = 0.002
-    drop_index_cost: float = 10.0
+    #: Flat TRANS charge per dropped structure, in *cost units* (it is
+    #: a catalog update, not a page-write count — see
+    #: :func:`cost_drop_index`). Historically expressed as 10 page
+    #: writes, which ``io_write_cost`` silently scaled to 20 units; the
+    #: charge is now explicit and independent of the write weight.
+    drop_index_cost: float = 20.0
 
     def units(self, page_reads: float, page_writes: float,
               cpu_ops: float) -> float:
@@ -89,6 +94,43 @@ def cost_full_scan(stats: TableStats, params: CostParams) -> Cost:
                 cpu_units=stats.nrows * params.cpu_tuple_cost)
 
 
+def cost_seek_entries(stats: TableStats, geometry: IndexGeometry,
+                      key_selectivity: float,
+                      params: CostParams) -> Cost:
+    """Descend the tree and read the leaf entries a seek prefix
+    selects — the index-side half of a seek, no heap access.
+
+    This is the estimate of the :class:`~repro.sqlengine.plan.SeekIndex`
+    plan operator.
+    """
+    matched = key_selectivity * stats.nrows
+    reads = float(geometry.height)
+    reads += geometry.leaf_pages_for(matched)
+    cpu = matched * params.cpu_index_tuple_cost
+    return Cost(page_reads=reads, cpu_units=cpu)
+
+
+def cost_heap_fetch(stats: TableStats, key_selectivity: float,
+                    residual_selectivity: float,
+                    params: CostParams) -> Cost:
+    """Fetch the qualifying heap rows behind a non-covering seek — the
+    estimate of the :class:`~repro.sqlengine.plan.FetchHeap` operator.
+
+    ``residual_selectivity`` is the fraction of seek output that also
+    passes predicates answerable from the index key (those filter
+    entries before any heap fetch).
+    """
+    matched = key_selectivity * stats.nrows
+    fetched = matched * residual_selectivity
+    # Unclustered heap fetches: each qualifying row costs a random
+    # page read, capped by the table size (big scans degrade to the
+    # sequential bound).
+    random_reads = min(fetched * params.random_io_factor,
+                       float(stats.n_pages))
+    return Cost(page_reads=random_reads,
+                cpu_units=fetched * params.cpu_tuple_cost)
+
+
 def cost_index_seek(stats: TableStats, geometry: IndexGeometry,
                     key_selectivity: float, covering: bool,
                     residual_selectivity: float,
@@ -96,26 +138,15 @@ def cost_index_seek(stats: TableStats, geometry: IndexGeometry,
     """Seek with an equality/range prefix selecting ``key_selectivity``
     of the rows; fetch heap rows unless ``covering``.
 
-    ``residual_selectivity`` is the fraction of seek output that also
-    passes predicates not answerable from the index key (it shrinks the
-    number of heap fetches only when the filter can be applied to the
-    index entries, i.e. when those columns are part of the key —
-    callers fold that in).
+    Composition of :func:`cost_seek_entries` and (when not covering)
+    :func:`cost_heap_fetch` — exactly the sum the plan IR's operator
+    estimates produce for the same pipeline.
     """
-    matched = key_selectivity * stats.nrows
-    reads = float(geometry.height)
-    reads += geometry.leaf_pages_for(matched)
-    cpu = matched * params.cpu_index_tuple_cost
+    cost = cost_seek_entries(stats, geometry, key_selectivity, params)
     if not covering:
-        fetched = matched * residual_selectivity
-        # Unclustered heap fetches: each qualifying row costs a random
-        # page read, capped by the table size (big scans degrade to the
-        # sequential bound).
-        random_reads = min(fetched * params.random_io_factor,
-                           float(stats.n_pages))
-        reads += random_reads
-        cpu += fetched * params.cpu_tuple_cost
-    return Cost(page_reads=reads, cpu_units=cpu)
+        cost = cost + cost_heap_fetch(stats, key_selectivity,
+                                      residual_selectivity, params)
+    return cost
 
 
 def cost_index_only_scan(stats: TableStats, geometry: IndexGeometry,
@@ -136,8 +167,15 @@ def cost_build_index(stats: TableStats, geometry: IndexGeometry,
 
 
 def cost_drop_index(params: CostParams) -> Cost:
-    """Drop an index or view: catalog update plus page deallocation."""
-    return Cost(page_writes=params.drop_index_cost)
+    """Drop an index or view: a catalog update plus page deallocation,
+    charged *directly in cost units*.
+
+    ``drop_index_cost`` is the intended TRANS charge itself, not a
+    page-write count — the historical code charged it through
+    ``page_writes``, silently scaling it by ``io_write_cost``, so the
+    documented parameter and the charged units disagreed by 2x.
+    """
+    return Cost(cpu_units=params.drop_index_cost)
 
 
 def cost_sort(n_rows: float, params: CostParams) -> Cost:

@@ -244,8 +244,10 @@ class Database:
             return QueryResult(rows=[], metrics=metered)
         if isinstance(stmt, DropIndexStmt):
             self.drop_index(stmt.name)
+            # Flat catalog-update charge, directly in cost units
+            # (matching cost_drop_index — not a page-write count).
             return QueryResult(rows=[], metrics=MeteredCost(
-                page_writes=self.params.drop_index_cost))
+                cpu_units=self.params.drop_index_cost))
         if isinstance(stmt, DropTableStmt):
             self.drop_table(stmt.table)
             return QueryResult(rows=[], metrics=MeteredCost())
@@ -291,6 +293,41 @@ class Database:
         """Convenience: execute a SELECT and return just the rows."""
         return self.execute(sql).rows
 
+    def plan(self, statement: Union[str, Statement]):
+        """The access path (with its physical-plan tree) the executor
+        would run for a SELECT under the *current* catalog, without
+        executing it."""
+        stmt = parse(statement) if isinstance(statement, str) \
+            else statement
+        if not isinstance(stmt, SelectStmt):
+            raise SqlUnsupportedError(
+                "plans exist only for SELECT statements")
+        executor = self._executor_for(stmt.table)
+        return executor.plan_select(stmt, self.stats(stmt.table))
+
+    def explain(self, statement: Union[str, Statement],
+                config: Optional[Iterable[IndexDef]] = None) -> str:
+        """Render the costed plan tree for a SELECT.
+
+        With ``config`` the statement is planned against that
+        *hypothetical* configuration (what-if catalog substitution);
+        otherwise against the materialized catalog. Either way the tree
+        shown is the literal plan object the executor would interpret.
+        """
+        stmt = parse(statement) if isinstance(statement, str) \
+            else statement
+        if not isinstance(stmt, SelectStmt):
+            raise SqlUnsupportedError(
+                "EXPLAIN supports only SELECT statements")
+        if config is None:
+            path = self.plan(stmt)
+        else:
+            path = self.what_if().estimate_statement(
+                stmt, config).access_path
+        stats = self.stats(stmt.table)
+        header = path.describe(self.params)
+        return header + "\n" + path.plan.explain(stats, self.params)
+
     def _executor_for(self, table_name: str) -> Executor:
         table = self.table(table_name)
         indexes = {ix.definition: ix
@@ -326,7 +363,7 @@ class Database:
         before = self.buffer_manager.snapshot()
         dropped: List[IndexDef] = []
         created: List[IndexDef] = []
-        extra_writes = 0.0
+        drop_units = 0.0
         for definition in sorted(current - target,
                                  key=structure_sort_key):
             if isinstance(definition, ViewDef):
@@ -338,7 +375,10 @@ class Database:
                 assert index is not None
                 self.drop_index(index.name)
             dropped.append(definition)
-            extra_writes += self.params.drop_index_cost
+            # Flat catalog-update charge in cost units, matching
+            # cost_drop_index (charging it as page writes would scale
+            # it by io_write_cost).
+            drop_units += self.params.drop_index_cost
         for definition in sorted(target - current,
                                  key=structure_sort_key):
             if isinstance(definition, ViewDef):
@@ -349,6 +389,7 @@ class Database:
         delta = self.buffer_manager.snapshot() - before
         metered = MeteredCost(
             page_reads=float(delta.logical_reads),
-            page_writes=float(delta.physical_writes) + extra_writes)
+            page_writes=float(delta.physical_writes),
+            cpu_units=drop_units)
         return TransitionReport(created=created, dropped=dropped,
                                 metered=metered)

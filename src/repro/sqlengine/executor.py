@@ -1,16 +1,22 @@
-"""Plan execution with metered costs.
+"""Statement execution: a thin interpreter over the physical-plan IR.
 
-The executor runs the access path chosen by the planner against the
-real storage structures (heap pages, B+-tree leaves) and meters every
-page touch in the same cost units the what-if optimizer estimates with.
-Scans and filters are vectorized over the column arrays; the page
-accounting follows the row/page geometry, not the vectorization.
+The executor analyzes a statement, asks the planner for the cheapest
+:class:`~repro.sqlengine.planner.AccessPath`, and then simply runs the
+plan tree the path carries — every operator meters its own page
+touches and CPU through the shared :class:`PlanRuntime`, in the same
+cost units the what-if optimizer estimates with. There is no
+per-access-path dispatch here: the plan objects the what-if optimizer
+costs are the plan objects that execute.
+
+What remains outside the IR is statement-level orchestration: the
+unsatisfiable-predicate shortcut, the MIN/MAX-via-index shortcut,
+LIMIT, and DML index/view maintenance.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -18,7 +24,8 @@ from ..errors import PlanningError
 from .buffer import BufferManager
 from .costmodel import CostParams, MeteredCost
 from .index import Index, IndexDef, structure_sort_key
-from .planner import (AccessPath, QueryInfo, RangeSpec, analyze_select,
+from .plan import PlanRuntime, aggregate_rows, scalar_value
+from .planner import (AccessPath, QueryInfo, analyze_select,
                       choose_access_path)
 from .sql.ast import (DeleteStmt, InsertStmt, SelectStmt, UpdateStmt)
 from .stats import TableStats
@@ -64,6 +71,32 @@ class Executor:
     # SELECT
     # ------------------------------------------------------------------
 
+    def plan_select(self, stmt: SelectStmt, stats: TableStats,
+                    info: Optional[QueryInfo] = None,
+                    with_views: bool = True) -> AccessPath:
+        """Choose the cheapest plan for a SELECT against the *current*
+        catalog — the same choice the what-if optimizer makes for the
+        same configuration, because both call the same planner with
+        identically sorted candidate structures."""
+        if info is None:
+            info = analyze_select(stmt, self.table.schema)
+        # Sorted candidate order: plan tie-breaking must not depend
+        # on index-creation order (the what-if optimizer sorts too).
+        pairs = [(d, self.indexes[d].geometry())
+                 for d in sorted(self.indexes, key=structure_sort_key)]
+        view_pairs = [(d, self.views[d].geometry())
+                      for d in sorted(self.views,
+                                      key=structure_sort_key)] \
+            if with_views else []
+        return choose_access_path(info, stats, pairs, self.params,
+                                  views=view_pairs)
+
+    def _runtime(self, metered: MeteredCost) -> PlanRuntime:
+        return PlanRuntime(table=self.table, indexes=self.indexes,
+                           views=self.views,
+                           buffer_manager=self.buffer_manager,
+                           params=self.params, metered=metered)
+
     def execute_select(self, stmt: SelectStmt, stats: TableStats,
                        info: Optional[QueryInfo] = None) -> QueryResult:
         if info is None:
@@ -74,51 +107,14 @@ class Executor:
             # aggregate over nothing has no groups at all.
             rows = []
             if info.aggregates and info.group_by is None:
-                rows = [_aggregate_rows(info, [])]
+                rows = [aggregate_rows(info, [])]
             return QueryResult(rows=rows, metrics=MeteredCost())
         shortcut = self._try_minmax_via_index(info)
         if shortcut is not None:
             return shortcut
-        # Sorted candidate order: plan tie-breaking must not depend
-        # on index-creation order (the what-if optimizer sorts too).
-        pairs = [(d, self.indexes[d].geometry())
-                 for d in sorted(self.indexes, key=structure_sort_key)]
-        view_pairs = [(d, self.views[d].geometry())
-                      for d in sorted(self.views,
-                                      key=structure_sort_key)]
-        path = choose_access_path(info, stats, pairs, self.params,
-                                  views=view_pairs)
+        path = self.plan_select(stmt, stats, info=info)
         metered = MeteredCost()
-        if path.kind == "full_scan":
-            rids = self._run_full_scan(info, metered)
-            rids = self._order_heap_rids(rids, info, path, metered)
-            rows = self._project_from_heap(rids, info, metered)
-        elif path.kind == "view_scan":
-            rids = self._run_view_scan(info, path, metered)
-            rids = self._order_heap_rids(rids, info, path, metered)
-            rows = self._project_from_heap(rids, info, metered)
-        elif path.kind == "index_only_scan":
-            rows = self._run_index_only(info, path, metered)
-        else:
-            rids, leaf_positions = self._run_index_seek(
-                info, path, metered)
-            if path.covering:
-                index = self.indexes[path.index]
-                cols, _ = index.leaf_arrays()
-                leaf_positions = self._order_positions(
-                    cols, leaf_positions, info, path, metered)
-                out_cols = [cols[c][leaf_positions]
-                            for c in info.select_columns]
-                rows = _rows_from_columns(out_cols, len(leaf_positions))
-            else:
-                rids = self._order_heap_rids(rids, info, path, metered)
-                rows = self._project_from_heap(rids, info, metered,
-                                               charge_fetch=True)
-        if info.aggregates:
-            if info.group_by is not None:
-                rows = _group_and_aggregate(info, rows)
-            else:
-                rows = [_aggregate_rows(info, rows)]
+        rows = path.plan.run(self._runtime(metered))
         if info.limit is not None:
             rows = rows[:info.limit]
         metered.rows_returned = len(rows)
@@ -148,190 +144,9 @@ class Executor:
             data = cols[aggregate.column]
             value = data[0] if aggregate.func == "MIN" else data[-1]
             metered.rows_returned = 1
-            return QueryResult(rows=[(_scalar(value),)],
+            return QueryResult(rows=[(scalar_value(value),)],
                                metrics=metered)
         return None
-
-    def _run_full_scan(self, info: QueryInfo,
-                       metered: MeteredCost) -> np.ndarray:
-        pages = self.table.scan_pages()
-        metered.add_reads(pages)
-        metered.add_cpu(self.table.nslots * self.params.cpu_tuple_cost)
-        metered.rows_examined += self.table.nslots
-        mask = self.table.valid_mask().copy()
-        for column, value in info.eq_predicates.items():
-            mask &= self.table.column_array(column) == value
-        for column, spec in info.range_predicates.items():
-            mask &= _range_mask(self.table.column_array(column), spec)
-        for predicate in info.neq_predicates:
-            mask &= (self.table.column_array(predicate.column)
-                     != predicate.value)
-        return np.nonzero(mask)[0]
-
-    def _order_heap_rids(self, rids: np.ndarray, info: QueryInfo,
-                         path: AccessPath,
-                         metered: MeteredCost) -> np.ndarray:
-        """Apply ORDER BY at the rid level (heap-backed paths)."""
-        if info.order_by is None or len(rids) == 0:
-            return rids
-        if path.provides_order:
-            return rids[::-1] if info.order_by.descending else rids
-        values = self.table.column_array(info.order_by.column)[rids]
-        order = np.argsort(values, kind="stable")
-        if info.order_by.descending:
-            order = order[::-1]
-        metered.add_cpu(self.params.cpu_sort_factor * len(rids) *
-                        max(1.0, np.log2(len(rids) + 1)))
-        return rids[order]
-
-    def _order_positions(self, cols, positions: np.ndarray,
-                         info: QueryInfo, path: AccessPath,
-                         metered: MeteredCost) -> np.ndarray:
-        """Apply ORDER BY at the leaf-position level (covering seek)."""
-        if info.order_by is None or len(positions) == 0:
-            return positions
-        if path.provides_order:
-            return positions[::-1] if info.order_by.descending \
-                else positions
-        values = cols[info.order_by.column][positions]
-        order = np.argsort(values, kind="stable")
-        if info.order_by.descending:
-            order = order[::-1]
-        metered.add_cpu(self.params.cpu_sort_factor * len(positions) *
-                        max(1.0, np.log2(len(positions) + 1)))
-        return positions[order]
-
-    def _run_view_scan(self, info: QueryInfo, path: AccessPath,
-                       metered: MeteredCost) -> np.ndarray:
-        """Scan a projection view: same predicate evaluation as a heap
-        scan (the view shares row ids), charged at the view's narrower
-        page geometry."""
-        view = self.views[path.view]
-        pages = view.charge_scan()
-        metered.add_reads(pages)
-        metered.add_cpu(self.table.nslots * self.params.cpu_tuple_cost)
-        metered.rows_examined += self.table.nslots
-        mask = self.table.valid_mask().copy()
-        for column, value in info.eq_predicates.items():
-            mask &= view.column_array(column) == value
-        for column, spec in info.range_predicates.items():
-            mask &= _range_mask(view.column_array(column), spec)
-        for predicate in info.neq_predicates:
-            mask &= (view.column_array(predicate.column)
-                     != predicate.value)
-        return np.nonzero(mask)[0]
-
-    def _run_index_seek(self, info: QueryInfo, path: AccessPath,
-                        metered: MeteredCost
-                        ) -> Tuple[np.ndarray, np.ndarray]:
-        """Returns ``(matching rids, their positions in the leaf
-        mirror)`` after seek + in-key residual filtering."""
-        index = self.indexes[path.index]
-        cols, rids = index.leaf_arrays()
-        lo, hi = 0, len(rids)
-        # Narrow by the equality prefix, column by column; within an
-        # equal prefix the next key column is sorted, so searchsorted
-        # stays valid at each step.
-        for column in index.definition.columns[:path.eq_prefix_len]:
-            data = cols[column][lo:hi]
-            value = info.eq_predicates[column]
-            lo_off = int(np.searchsorted(data, value, side="left"))
-            hi_off = int(np.searchsorted(data, value, side="right"))
-            lo, hi = lo + lo_off, lo + hi_off
-        if path.uses_range:
-            column = index.definition.columns[path.eq_prefix_len]
-            spec = info.range_predicates[column]
-            data = cols[column][lo:hi]
-            if spec.lo is not None:
-                side = "left" if spec.lo_inclusive else "right"
-                lo_off = int(np.searchsorted(data, spec.lo, side=side))
-            else:
-                lo_off = 0
-            if spec.hi is not None:
-                side = "right" if spec.hi_inclusive else "left"
-                hi_off = int(np.searchsorted(data, spec.hi, side=side))
-            else:
-                hi_off = len(data)
-            lo, hi = lo + lo_off, lo + hi_off
-        n_entries = hi - lo
-        index.charge_descent()
-        pages = index.charge_leaf_pages(max(n_entries, 1))
-        metered.add_reads(index.geometry().height + pages)
-        metered.add_cpu(n_entries * self.params.cpu_index_tuple_cost)
-        metered.rows_examined += n_entries
-        if n_entries <= 0:
-            empty = np.empty(0, dtype=np.int64)
-            return empty, empty
-        selected = np.ones(n_entries, dtype=bool)
-        # Residual predicates on other key columns filter entries
-        # before any heap fetch; != predicates apply even to the seek
-        # columns themselves (the seek bounds cannot express them).
-        seek_columns = set(index.definition.columns[:path.eq_prefix_len])
-        if path.uses_range:
-            seek_columns.add(index.definition.columns[path.eq_prefix_len])
-        for column in index.definition.columns:
-            data = cols[column][lo:hi]
-            for predicate in info.neq_predicates:
-                if predicate.column == column:
-                    selected &= data != predicate.value
-            if column in seek_columns:
-                continue
-            if column in info.eq_predicates:
-                selected &= data == info.eq_predicates[column]
-            if column in info.range_predicates:
-                selected &= _range_mask(data,
-                                        info.range_predicates[column])
-        positions = lo + np.nonzero(selected)[0]
-        return rids[positions], positions
-
-    def _run_index_only(self, info: QueryInfo, path: AccessPath,
-                        metered: MeteredCost) -> List[Tuple[Value, ...]]:
-        index = self.indexes[path.index]
-        cols, rids = index.leaf_arrays()
-        pages = index.charge_full_leaf_scan()
-        metered.add_reads(pages)
-        metered.add_cpu(len(rids) * self.params.cpu_index_tuple_cost)
-        metered.rows_examined += len(rids)
-        mask = np.ones(len(rids), dtype=bool)
-        for column, value in info.eq_predicates.items():
-            mask &= cols[column] == value
-        for column, spec in info.range_predicates.items():
-            mask &= _range_mask(cols[column], spec)
-        for predicate in info.neq_predicates:
-            mask &= cols[predicate.column] != predicate.value
-        selected = np.nonzero(mask)[0]
-        selected = self._order_positions(cols, selected, info, path,
-                                         metered)
-        out_cols = [cols[c][selected] for c in info.select_columns]
-        return _rows_from_columns(out_cols, len(selected))
-
-    def _project_from_heap(self, rids: np.ndarray, info: QueryInfo,
-                           metered: MeteredCost,
-                           charge_fetch: bool = False
-                           ) -> List[Tuple[Value, ...]]:
-        if charge_fetch and len(rids):
-            pages = np.unique(rids // self.table.rows_per_page)
-            self.buffer_manager.read_pages(
-                self.table.object_id, (int(p) for p in pages))
-            metered.add_reads(float(len(pages)) *
-                              self.params.random_io_factor)
-            metered.add_cpu(len(rids) * self.params.cpu_tuple_cost)
-        out_cols = [self.table.column_array(c)[rids]
-                    for c in info.select_columns]
-        # Heap-path residual predicates were applied already (full scan)
-        # or by the seek on index columns; re-check non-key predicates.
-        mask = np.ones(len(rids), dtype=bool)
-        for column, value in info.eq_predicates.items():
-            mask &= self.table.column_array(column)[rids] == value
-        for column, spec in info.range_predicates.items():
-            mask &= _range_mask(
-                self.table.column_array(column)[rids], spec)
-        for predicate in info.neq_predicates:
-            mask &= (self.table.column_array(predicate.column)[rids]
-                     != predicate.value)
-        selected = np.nonzero(mask)[0]
-        out_cols = [c[selected] for c in out_cols]
-        return _rows_from_columns(out_cols, len(selected))
 
     # ------------------------------------------------------------------
     # DML
@@ -402,110 +217,19 @@ class Executor:
 
     def _locate(self, where, stats: TableStats
                 ) -> Tuple[np.ndarray, MeteredCost]:
+        """Heap rids matching a WHERE clause, for UPDATE/DELETE row
+        targeting. Runs the chosen plan's ``locate`` pipeline: access
+        charges apply, but output-side work (heap fetch, sort) does
+        not. Views are not consulted — DML is going to rewrite them
+        anyway."""
         probe = SelectStmt(table=self.table.schema.name,
                            columns=tuple(self.table.schema.column_names),
                            where=where)
         info = analyze_select(probe, self.table.schema)
         if info.unsatisfiable:
             return np.empty(0, dtype=np.int64), MeteredCost()
-        pairs = [(d, self.indexes[d].geometry())
-                 for d in sorted(self.indexes, key=structure_sort_key)]
-        path = choose_access_path(info, stats, pairs, self.params)
+        path = self.plan_select(probe, stats, info=info,
+                                with_views=False)
         metered = MeteredCost()
-        if path.kind == "index_seek":
-            rids, _positions = self._run_index_seek(info, path, metered)
-            # Re-check non-key predicates against the heap.
-            if len(rids):
-                mask = np.ones(len(rids), dtype=bool)
-                for column, value in info.eq_predicates.items():
-                    mask &= (self.table.column_array(column)[rids]
-                             == value)
-                for column, spec in info.range_predicates.items():
-                    mask &= _range_mask(
-                        self.table.column_array(column)[rids], spec)
-                for predicate in info.neq_predicates:
-                    mask &= (self.table.column_array(
-                        predicate.column)[rids] != predicate.value)
-                rids = rids[mask]
-        else:
-            rids = self._run_full_scan(info, metered)
-        return rids, metered
-
-
-def _aggregate_rows(info: QueryInfo,
-                    rows: Sequence[Tuple[Value, ...]]
-                    ) -> Tuple[Value, ...]:
-    """Fold projected rows into one aggregate tuple.
-
-    SQL semantics on empty input: COUNT -> 0, the rest -> None.
-    ``rows`` are projections of ``info.select_columns`` (the distinct
-    aggregate input columns).
-    """
-    position = {column: i
-                for i, column in enumerate(info.select_columns)}
-    out = []
-    for aggregate in info.aggregates:
-        if aggregate.func == "COUNT" and aggregate.column is None:
-            out.append(len(rows))
-            continue
-        values = [row[position[aggregate.column]] for row in rows]
-        if aggregate.func == "COUNT":
-            out.append(len(values))
-        elif not values:
-            out.append(None)
-        elif aggregate.func == "MIN":
-            out.append(min(values))
-        elif aggregate.func == "MAX":
-            out.append(max(values))
-        elif aggregate.func == "SUM":
-            out.append(sum(values))
-        else:  # AVG
-            out.append(sum(values) / len(values))
-    return tuple(out)
-
-
-def _group_and_aggregate(info: QueryInfo,
-                         rows: Sequence[Tuple[Value, ...]]
-                         ) -> List[Tuple[Value, ...]]:
-    """GROUP BY fold: one output row per distinct group value, shaped
-    ``(group_value, *aggregates)``, ordered by the group value
-    (descending when ORDER BY ... DESC names the group column)."""
-    group_position = {column: i for i, column
-                      in enumerate(info.select_columns)}[info.group_by]
-    groups: Dict[Value, List[Tuple[Value, ...]]] = {}
-    for row in rows:
-        groups.setdefault(row[group_position], []).append(row)
-    descending = (info.order_by is not None and
-                  info.order_by.descending)
-    out: List[Tuple[Value, ...]] = []
-    for value in sorted(groups, reverse=descending):
-        folded = _aggregate_rows(info, groups[value])
-        out.append((value,) + folded)
-    return out
-
-
-def _range_mask(data: np.ndarray, spec: RangeSpec) -> np.ndarray:
-    mask = np.ones(len(data), dtype=bool)
-    if spec.lo is not None:
-        mask &= (data >= spec.lo) if spec.lo_inclusive else (data > spec.lo)
-    if spec.hi is not None:
-        mask &= (data <= spec.hi) if spec.hi_inclusive else (data < spec.hi)
-    return mask
-
-
-def _rows_from_columns(columns: Sequence[np.ndarray],
-                       n_rows: int) -> List[Tuple[Value, ...]]:
-    out: List[Tuple[Value, ...]] = []
-    for i in range(n_rows):
-        out.append(tuple(_scalar(col[i]) for col in columns))
-    return out
-
-
-def _scalar(value):
-    if isinstance(value, np.integer):
-        return int(value)
-    if isinstance(value, np.floating):
-        return float(value)
-    if isinstance(value, np.str_):
-        return str(value)
-    return value
+        rids = path.plan.locate(self._runtime(metered))
+        return np.asarray(rids, dtype=np.int64), metered

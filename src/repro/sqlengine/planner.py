@@ -2,10 +2,13 @@
 
 The planner analyzes a ``SELECT`` into a :class:`QueryInfo`, enumerates
 the feasible access paths for a given set of (real or hypothetical)
-indexes, costs each with :mod:`.costmodel`, and picks the cheapest.
-Because the enumeration works purely on :class:`IndexDef` +
-:class:`IndexGeometry`, the *same* code plans real executions and
-what-if estimates — the two can never diverge.
+indexes, and picks the cheapest. Each access path is realized as a
+:mod:`.plan` operator tree; its cost is whatever the tree's own
+:meth:`~repro.sqlengine.plan.PlanNode.estimate` says, and the executor
+runs the *same* tree — so the what-if optimizer and the executor can
+never cost or pick different plans. :class:`AccessPath` survives as a
+thin façade over the plan root (kind/index/cost summary attributes the
+advisor and the reports key on).
 """
 
 from __future__ import annotations
@@ -14,13 +17,16 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import PlanningError, SchemaError, SqlUnsupportedError
-from .costmodel import (Cost, CostParams, cost_full_scan, cost_index_only_scan,
-                        cost_index_seek)
+from .costmodel import Cost, CostParams
 from .index import IndexDef, IndexGeometry
+from .plan import (Aggregate, FetchHeap, Filter, GroupAggregate, PlanNode,
+                   Project, ScanHeap, ScanIndexLeaf, ScanView, SeekIndex,
+                   Sort)
 from .schema import TableSchema
 from .sql.ast import Between, Comparison, OrderBy, SelectStmt
 from .stats import TableStats, combined_selectivity
 from .types import Value
+from .views import ViewDef, ViewGeometry
 
 
 @dataclass(frozen=True)
@@ -245,7 +251,12 @@ def total_selectivity(info: QueryInfo, stats: TableStats) -> float:
 
 @dataclass(frozen=True)
 class AccessPath:
-    """One costed way of answering a query.
+    """One costed way of answering a query — a thin façade over the
+    physical plan tree in ``plan``.
+
+    The summary attributes exist for the advisor, reports, and tests
+    that key on them; ``cost`` is exactly ``plan.estimate(...)`` and
+    the executor runs exactly ``plan``.
 
     Attributes:
         kind: ``full_scan``, ``index_seek``, ``index_only_scan`` or
@@ -258,6 +269,9 @@ class AccessPath:
             column right after the equality prefix.
         covering: whether the structure covers all referenced columns.
         view: the projection view scanned (``view_scan`` only).
+        provides_order: the access method already emits rows in the
+            ORDER BY order (no sort charged).
+        plan: the physical-plan operator tree this path realizes.
     """
 
     kind: str
@@ -267,8 +281,9 @@ class AccessPath:
     eq_prefix_len: int = 0
     uses_range: bool = False
     covering: bool = False
-    view: Optional[object] = None
+    view: Optional[ViewDef] = None
     provides_order: bool = False
+    plan: Optional[PlanNode] = None
 
     def describe(self, params: CostParams) -> str:
         if self.view is not None:
@@ -284,19 +299,19 @@ def enumerate_access_paths(
         info: QueryInfo, stats: TableStats,
         indexes: Sequence[Tuple[IndexDef, IndexGeometry]],
         params: CostParams,
-        views: Sequence[Tuple[object, object]] = ()
+        views: Sequence[Tuple[ViewDef, ViewGeometry]] = ()
         ) -> List[AccessPath]:
     """All feasible access paths, sorted cheapest-first.
 
-    ``views`` pairs :class:`~repro.sqlengine.views.ViewDef` with its
+    Each path carries the realized plan tree; its cost is the tree's
+    own estimate. ``views`` pairs
+    :class:`~repro.sqlengine.views.ViewDef` with its
     :class:`~repro.sqlengine.views.ViewGeometry`; a view covering every
     referenced column offers a ``view_scan`` over its narrower pages.
     """
-    from .costmodel import cost_sort, cost_view_scan
     out_rows = stats.nrows * total_selectivity(info, stats)
-    paths: List[AccessPath] = [AccessPath(
-        kind="full_scan", index=None,
-        cost=cost_full_scan(stats, params), est_rows=out_rows)]
+    paths: List[AccessPath] = [
+        _realize(info, stats, params, out_rows, kind="full_scan")]
     for definition, geometry in indexes:
         if definition.table != info.table:
             continue
@@ -306,44 +321,20 @@ def enumerate_access_paths(
         if view_def.table != info.table:
             continue
         if view_def.covers(info.referenced_columns):
-            paths.append(AccessPath(
-                kind="view_scan", index=None,
-                cost=cost_view_scan(stats, view_geometry.n_pages,
-                                    params),
-                est_rows=out_rows, covering=True, view=view_def))
-    if info.order_by is not None:
-        # Mark order-providing paths; charge a result sort to the rest.
-        paths = [_with_order(info, path, params) for path in paths]
+            paths.append(_realize(
+                info, stats, params, out_rows, kind="view_scan",
+                covering=True, view=view_def,
+                view_geometry=view_geometry))
     paths.sort(key=lambda p: p.cost.total(params))
     return paths
-
-
-def _with_order(info: QueryInfo, path: AccessPath,
-                params: CostParams) -> AccessPath:
-    from dataclasses import replace
-    from .costmodel import cost_sort
-    column = info.order_by.column
-    provided = False
-    if column in info.eq_predicates:
-        provided = True    # constant column: any order qualifies
-    elif path.index is not None and path.kind == "index_seek":
-        key = path.index.columns
-        if path.eq_prefix_len < len(key) and \
-                key[path.eq_prefix_len] == column:
-            provided = True
-    elif path.index is not None and path.kind == "index_only_scan":
-        provided = path.index.columns[0] == column
-    if provided:
-        return replace(path, provides_order=True)
-    return replace(path, cost=path.cost + cost_sort(path.est_rows,
-                                                    params))
 
 
 def choose_access_path(
         info: QueryInfo, stats: TableStats,
         indexes: Sequence[Tuple[IndexDef, IndexGeometry]],
         params: CostParams,
-        views: Sequence[Tuple[object, object]] = ()) -> AccessPath:
+        views: Sequence[Tuple[ViewDef, ViewGeometry]] = ()
+        ) -> AccessPath:
     return enumerate_access_paths(info, stats, indexes, params,
                                   views)[0]
 
@@ -356,46 +347,134 @@ def _paths_for_index(info: QueryInfo, stats: TableStats,
     covering = definition.covers(info.referenced_columns)
     # --- index seek: equality prefix (+ optional next-column range) ---
     prefix_len = 0
-    key_selectivities: List[float] = []
     for column in definition.columns:
         if column in info.eq_predicates:
-            key_selectivities.append(
-                stats.column(column).selectivity_eq(
-                    info.eq_predicates[column]))
             prefix_len += 1
         else:
             break
-    uses_range = False
-    if prefix_len < len(definition.columns):
-        next_column = definition.columns[prefix_len]
-        if next_column in info.range_predicates:
-            spec = info.range_predicates[next_column]
-            key_selectivities.append(
-                stats.column(next_column).selectivity_range(
-                    spec.lo, spec.hi, spec.lo_inclusive,
-                    spec.hi_inclusive))
-            uses_range = True
+    uses_range = (prefix_len < len(definition.columns) and
+                  definition.columns[prefix_len] in
+                  info.range_predicates)
     if prefix_len > 0 or uses_range:
-        key_sel = combined_selectivity(key_selectivities)
-        seek_columns = set(definition.columns[:prefix_len])
-        if uses_range:
-            seek_columns.add(definition.columns[prefix_len])
-        # Predicates on *other key columns* filter entries before any
-        # heap fetch; predicates on non-key columns filter after.
-        in_key_residual = combined_selectivity([
-            predicate_selectivity(info, stats, c)
-            for c in info.predicate_columns
-            if c in definition.columns and c not in seek_columns])
-        paths.append(AccessPath(
-            kind="index_seek", index=definition,
-            cost=cost_index_seek(stats, geometry, key_sel, covering,
-                                 in_key_residual, params),
-            est_rows=out_rows, eq_prefix_len=prefix_len,
-            uses_range=uses_range, covering=covering))
+        paths.append(_realize(
+            info, stats, params, out_rows, kind="index_seek",
+            index=definition, geometry=geometry,
+            eq_prefix_len=prefix_len, uses_range=uses_range,
+            covering=covering))
     # --- index-only scan over a covering index ---
     if covering:
-        paths.append(AccessPath(
-            kind="index_only_scan", index=definition,
-            cost=cost_index_only_scan(stats, geometry, params),
-            est_rows=out_rows, covering=True))
+        paths.append(_realize(
+            info, stats, params, out_rows, kind="index_only_scan",
+            index=definition, geometry=geometry, covering=True))
     return paths
+
+
+# ----------------------------------------------------------------------
+# plan realization
+# ----------------------------------------------------------------------
+
+def _realize(info: QueryInfo, stats: TableStats, params: CostParams,
+             out_rows: float, kind: str,
+             index: Optional[IndexDef] = None,
+             geometry: Optional[IndexGeometry] = None,
+             eq_prefix_len: int = 0, uses_range: bool = False,
+             covering: bool = False, view: Optional[ViewDef] = None,
+             view_geometry: Optional[ViewGeometry] = None
+             ) -> AccessPath:
+    """Build the operator pipeline for one access method and wrap it
+    in the :class:`AccessPath` façade, costed by its own estimate."""
+    provides_order = (info.order_by is not None and
+                      _order_provided(info, kind, index, eq_prefix_len))
+    root = _build_pipeline(info, kind, index, geometry, eq_prefix_len,
+                           uses_range, covering, view, view_geometry,
+                           out_rows, provides_order)
+    return AccessPath(kind=kind, index=index,
+                      cost=root.estimate(stats, params),
+                      est_rows=out_rows, eq_prefix_len=eq_prefix_len,
+                      uses_range=uses_range, covering=covering,
+                      view=view, provides_order=provides_order,
+                      plan=root)
+
+
+def _order_provided(info: QueryInfo, kind: str,
+                    index: Optional[IndexDef],
+                    eq_prefix_len: int) -> bool:
+    """Does this access method already emit rows in ORDER BY order?"""
+    column = info.order_by.column
+    if column in info.eq_predicates:
+        return True    # constant column: any order qualifies
+    if index is not None and kind == "index_seek":
+        key = index.columns
+        return eq_prefix_len < len(key) and key[eq_prefix_len] == column
+    if index is not None and kind == "index_only_scan":
+        return index.columns[0] == column
+    return False
+
+
+def _build_pipeline(info: QueryInfo, kind: str,
+                    index: Optional[IndexDef],
+                    geometry: Optional[IndexGeometry],
+                    eq_prefix_len: int, uses_range: bool,
+                    covering: bool, view: Optional[ViewDef],
+                    view_geometry: Optional[ViewGeometry],
+                    out_rows: float, provides_order: bool) -> PlanNode:
+    node: PlanNode
+    if kind == "full_scan":
+        node = ScanHeap(info)
+    elif kind == "view_scan":
+        node = ScanView(info, view, view_geometry.n_pages)
+    elif kind == "index_seek":
+        node = SeekIndex(info, index, geometry, eq_prefix_len,
+                         uses_range)
+        node = _filter_residual(node, info, index, eq_prefix_len,
+                                uses_range)
+        if not covering:
+            node = FetchHeap(node, info, index, eq_prefix_len,
+                             uses_range)
+    elif kind == "index_only_scan":
+        node = Filter(ScanIndexLeaf(index, geometry),
+                      eq=tuple(info.eq_predicates.items()),
+                      ranges=tuple(info.range_predicates.items()),
+                      neq=tuple((p.column, p.value)
+                                for p in info.neq_predicates))
+        if not (node.eq or node.ranges or node.neq):
+            node = node.child
+    else:
+        raise PlanningError(f"unknown access-path kind {kind!r}")
+    if info.order_by is not None:
+        node = Sort(node, info.order_by.column,
+                    info.order_by.descending, provides_order, out_rows)
+    node = Project(node, info)
+    if info.aggregates:
+        if info.group_by is not None:
+            node = GroupAggregate(node, info)
+        else:
+            node = Aggregate(node, info)
+    return node
+
+
+def _filter_residual(node: PlanNode, info: QueryInfo, index: IndexDef,
+                     eq_prefix_len: int, uses_range: bool) -> PlanNode:
+    """Residual predicates a seek evaluates on the leaf entries before
+    any heap fetch: predicates on *other key columns*, plus ``!=`` on
+    any key column (the seek bounds cannot express them)."""
+    seek_columns = set(index.columns[:eq_prefix_len])
+    if uses_range:
+        seek_columns.add(index.columns[eq_prefix_len])
+    eq: List[Tuple[str, Value]] = []
+    ranges: List[Tuple[str, RangeSpec]] = []
+    neq: List[Tuple[str, Value]] = []
+    for column in index.columns:
+        for predicate in info.neq_predicates:
+            if predicate.column == column:
+                neq.append((column, predicate.value))
+        if column in seek_columns:
+            continue
+        if column in info.eq_predicates:
+            eq.append((column, info.eq_predicates[column]))
+        if column in info.range_predicates:
+            ranges.append((column, info.range_predicates[column]))
+    if not (eq or ranges or neq):
+        return node
+    return Filter(node, eq=tuple(eq), ranges=tuple(ranges),
+                  neq=tuple(neq))

@@ -9,8 +9,10 @@ base heap — cheaper in proportion to the width ratio — and it is
 cheaper to build than an index (one scan, one write pass, no sort).
 
 Views participate everywhere indexes do: hypothetical view geometry in
-the what-if optimizer, a ``view_scan`` access path in the planner,
-metered execution, SIZE/TRANS accounting, and
+the what-if optimizer, a ``view_scan`` access path in the planner
+(realized as a :class:`~repro.sqlengine.plan.ScanView` operator in the
+shared plan IR, so the what-if optimizer and the executor cost and run
+the same tree), metered execution, SIZE/TRANS accounting, and
 ``Database.apply_configuration``.
 """
 

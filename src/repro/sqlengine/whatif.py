@@ -2,10 +2,13 @@
 
 This is the engine's equivalent of SQL Server's hypothetical indexes /
 PostgreSQL's HypoPG: an index that exists only as statistics-derived
-geometry. Because the planner works purely on ``(IndexDef,
-IndexGeometry)`` pairs, hypothetical and materialized indexes cost
-identically — the what-if estimate for a configuration equals what the
-planner would charge if the configuration were deployed.
+geometry. A hypothetical structure is pure *catalog substitution*: the
+planner is handed ``(IndexDef, IndexGeometry)`` pairs and realizes the
+same :mod:`~repro.sqlengine.plan` operator trees it would for deployed
+structures, costed by the trees' own estimates. The what-if estimate
+for a configuration is therefore the cost of the *literal plan object*
+the executor would run if the configuration were deployed — the
+``planidentity`` verify check asserts the two trees compare equal.
 
 The :class:`WhatIfOptimizer` provides the three quantities the paper's
 problem definition needs:
@@ -31,6 +34,7 @@ from ..errors import CatalogError, SqlUnsupportedError
 from .costmodel import (Cost, CostParams, ZERO_COST, cost_build_index,
                         cost_build_view, cost_drop_index, cost_insert)
 from .index import IndexDef, IndexGeometry, structure_sort_key
+from .plan import PlanNode
 from .views import ViewDef, ViewGeometry
 from .planner import (AccessPath, QueryInfo, analyze_select,
                       choose_access_path, total_selectivity)
@@ -42,11 +46,18 @@ from .stats import TableStats
 
 @dataclass(frozen=True)
 class PlanEstimate:
-    """Outcome of a what-if costing call."""
+    """Outcome of a what-if costing call.
+
+    ``plan`` is the physical-plan tree the estimate was read off —
+    structurally equal to the tree the executor would run under the
+    same configuration (``None`` for statements costed without a plan,
+    e.g. INSERT).
+    """
 
     cost: Cost
     access_path: Optional[AccessPath]
     units: float
+    plan: Optional[PlanNode] = None
 
     def __float__(self) -> float:
         return self.units
@@ -214,7 +225,8 @@ class WhatIfOptimizer:
         path = choose_access_path(info, stats, indexes, self.params,
                                   views=views)
         return PlanEstimate(cost=path.cost, access_path=path,
-                            units=path.cost.total(self.params))
+                            units=path.cost.total(self.params),
+                            plan=path.plan)
 
     def _estimate_insert(self, stmt: InsertStmt,
                          config: FrozenSet[IndexDef]) -> PlanEstimate:
@@ -245,7 +257,8 @@ class WhatIfOptimizer:
                      (1 + n_indexes))
         cost = path.cost + write
         return PlanEstimate(cost=cost, access_path=path,
-                            units=cost.total(self.params))
+                            units=cost.total(self.params),
+                            plan=path.plan)
 
     # ------------------------------------------------------------------
     # TRANS and SIZE

@@ -4,7 +4,7 @@ The solvers in :mod:`repro.core` deliberately ship multiple
 implementations of the same optimum (vectorized DP, pure-Python
 reference, explicit graph), and the engine deliberately separates
 estimation (:mod:`repro.sqlengine.whatif`) from execution. This
-package turns that redundancy into an executable oracle with four
+package turns that redundancy into an executable oracle with five
 check families:
 
 1. solver equivalence — all solver paths agree exactly (0 ulp);
@@ -13,7 +13,10 @@ check families:
 3. cost service — batched estimation is bit-identical to scalar, and
    cache invalidation tracks the stats epoch;
 4. ground truth — what-if estimates stay within per-access-path
-   budgets of costs metered on the live engine.
+   budgets of costs metered on the live engine;
+5. plan identity — the what-if optimizer and the executor pick
+   structurally identical physical-plan trees for every statement x
+   configuration.
 
 Entry points: ``repro verify`` on the command line,
 :func:`~repro.verify.runner.run_verification` from code, and
@@ -22,7 +25,8 @@ Entry points: ``repro verify`` on the command line,
 
 from .checks import (DEFAULT_GROUND_TRUTH_BUDGETS,
                      check_constrained_invariants, check_cost_service,
-                     check_ground_truth, check_solver_equivalence,
+                     check_ground_truth, check_plan_identity,
+                     check_solver_equivalence,
                      replay_ranking_failures,
                      solver_agreement_failures)
 from .generators import (MatrixInstance, TraceInstance,
@@ -36,7 +40,8 @@ __all__ = [
     "CheckFailure", "CheckResult", "MatrixInstance", "TraceInstance",
     "VerificationReport",
     "check_constrained_invariants", "check_cost_service",
-    "check_ground_truth", "check_solver_equivalence",
+    "check_ground_truth", "check_plan_identity",
+    "check_solver_equivalence",
     "matrix_instances", "random_matrix_instance",
     "random_trace_problem", "replay_ranking_failures",
     "run_verification", "solver_agreement_failures",

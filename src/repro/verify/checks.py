@@ -1,4 +1,4 @@
-"""The four differential / invariant check families.
+"""The five differential / invariant check families.
 
 1. **Solver equivalence** (:func:`check_solver_equivalence`) — the
    vectorized DP, the pure-Python reference DP, and the explicit
@@ -28,6 +28,14 @@
    stay within a per-access-path relative-error budget of the cost
    actually metered by executing the statement against the live
    engine, and the buffer manager's I/O counters are self-consistent.
+
+5. **Plan identity** (:func:`check_plan_identity`) — for every SELECT
+   x configuration in the trace, the physical-plan tree the what-if
+   optimizer costs must compare equal (dataclass equality, node by
+   node) to the tree the executor picks with the configuration
+   actually deployed, with bit-identical estimated costs. This is the
+   plan-IR contract: hypothetical structures are catalog substitution,
+   not a second costing path.
 """
 
 from __future__ import annotations
@@ -45,6 +53,7 @@ from ..core.kaware import (constrained_invariant_violations,
 from ..core.sequence_graph import (SequenceGraph, solve_unconstrained,
                                    solve_unconstrained_reference)
 from ..errors import InfeasibleProblemError
+from ..sqlengine.sql.ast import SelectStmt
 from .generators import MatrixInstance, TraceInstance
 from .report import CheckResult
 
@@ -348,6 +357,72 @@ def check_ground_truth(
             result.check(
                 io.physical_writes >= 0, where,
                 f"negative physical_writes {io.physical_writes}")
+    db.apply_configuration(set())
+
+
+# ----------------------------------------------------------------------
+# family 5: what-if plan == executor plan
+# ----------------------------------------------------------------------
+
+def check_plan_identity(instance: TraceInstance,
+                        result: CheckResult) -> None:
+    """What-if and executor plan trees must be identical (family 5).
+
+    For every candidate configuration, deploys it for real and asserts
+    — per unique SELECT in the trace — that the plan object the
+    what-if optimizer costed is structurally equal to the plan object
+    the executor chooses against the materialized catalog, with the
+    same estimated cost, bit for bit. Also executes one statement per
+    configuration and asserts the plan recorded on the result is that
+    same tree. Leaves the database in the empty design.
+    """
+    db = instance.db
+    selects = []
+    seen_sql = set()
+    for segment in instance.problem.segments:
+        for statement in segment:
+            if isinstance(statement.ast, SelectStmt) and \
+                    statement.sql not in seen_sql:
+                seen_sql.add(statement.sql)
+                selects.append(statement)
+    for config in instance.problem.configurations:
+        db.apply_configuration(set(config))
+        optimizer = db.what_if()
+        for statement in selects:
+            where = (f"{instance.label} config={config.label} "
+                     f"sql={statement.sql!r}")
+            estimate = optimizer.estimate_statement(
+                statement.ast, config.structures)
+            executed_path = db.plan(statement.ast)
+            if not result.check(
+                    estimate.plan is not None and
+                    executed_path.plan is not None, where,
+                    "missing plan tree on what-if estimate or "
+                    "executor access path"):
+                continue
+            result.check(
+                estimate.plan == executed_path.plan, where,
+                f"what-if plan != executor plan:\n"
+                f"what-if:\n{estimate.plan.explain()}\n"
+                f"executor:\n{executed_path.plan.explain()}")
+            result.check(
+                estimate.cost == executed_path.cost, where,
+                f"plan cost drift: what-if {estimate.cost!r} != "
+                f"executor {executed_path.cost!r}")
+        if selects:
+            # One real execution: the plan recorded on the result is
+            # the same object family the what-if optimizer costed.
+            probe = selects[0]
+            estimate = optimizer.estimate_statement(
+                probe.ast, config.structures)
+            ground = db.execute_metered(probe.ast)
+            path = ground.result.access_path
+            if path is not None:
+                result.check(
+                    path.plan == estimate.plan,
+                    f"{instance.label} config={config.label} "
+                    f"sql={probe.sql!r}",
+                    "executed plan differs from the what-if plan")
     db.apply_configuration(set())
 
 

@@ -17,7 +17,8 @@ from typing import Callable, List
 import pytest
 
 from .checks import (check_constrained_invariants, check_cost_service,
-                     check_ground_truth, check_solver_equivalence)
+                     check_ground_truth, check_plan_identity,
+                     check_solver_equivalence)
 from .generators import (MatrixInstance, TraceInstance,
                          matrix_instances, random_matrix_instance,
                          random_trace_problem)
@@ -30,7 +31,8 @@ __all__ = [
     # re-exported check families, so a conftest's ``import *`` gives
     # tests everything they need in one line
     "check_constrained_invariants", "check_cost_service",
-    "check_ground_truth", "check_solver_equivalence",
+    "check_ground_truth", "check_plan_identity",
+    "check_solver_equivalence",
 ]
 
 

@@ -1,6 +1,6 @@
 """Orchestration: one call runs every check family.
 
-:func:`run_verification` drives the four families over a batch of
+:func:`run_verification` drives the five families over a batch of
 randomized matrix instances and one or more live trace instances,
 returning a :class:`~repro.verify.report.VerificationReport`. The
 ``repro verify`` CLI subcommand and the CI quick gate are thin
@@ -18,7 +18,8 @@ import time
 from typing import Optional
 
 from .checks import (check_constrained_invariants, check_cost_service,
-                     check_ground_truth, check_solver_equivalence)
+                     check_ground_truth, check_plan_identity,
+                     check_solver_equivalence)
 from .generators import matrix_instances, random_trace_problem
 from .report import CheckResult, VerificationReport
 
@@ -28,7 +29,7 @@ def run_verification(seed: int = 0, instances: int = 50,
                      nrows: Optional[int] = None,
                      traces: Optional[int] = None
                      ) -> VerificationReport:
-    """Run all four check families.
+    """Run all five check families.
 
     Args:
         seed: base seed; instance i uses ``seed + i``.
@@ -58,6 +59,9 @@ def run_verification(seed: int = 0, instances: int = 50,
     groundtruth = CheckResult(
         "groundtruth", "what-if estimates within budget of executed "
                        "metered cost; IoMetrics consistent")
+    planidentity = CheckResult(
+        "planidentity", "what-if plan trees structurally equal to "
+                        "executor plan trees, per statement x config")
 
     for instance in matrix_instances(seed, instances):
         check_solver_equivalence(instance, solvers)
@@ -69,8 +73,10 @@ def run_verification(seed: int = 0, instances: int = 50,
                                      block_size=block_size)
         check_cost_service(trace, costservice)
         check_ground_truth(trace, groundtruth)
+        check_plan_identity(trace, planidentity)
 
     report = VerificationReport(
-        results=[solvers, invariants, costservice, groundtruth])
+        results=[solvers, invariants, costservice, groundtruth,
+                 planidentity])
     report.seconds = time.perf_counter() - start
     return report

@@ -117,6 +117,17 @@ class TestTransitionCosts:
         drop = cost_drop_index(PARAMS)
         assert drop.total(PARAMS) < build.total(PARAMS) / 10
 
+    def test_drop_cost_is_twenty_units_regardless_of_write_weight(self):
+        """Regression: the drop charge used to be expressed as 10 page
+        *writes*, which ``io_write_cost`` silently doubled to 20 units
+        — and any retuning of the write weight would have moved TRANS
+        drop costs as a side effect. The charge is now an explicit 20
+        CPU units, independent of the I/O weights."""
+        assert cost_drop_index(PARAMS).total(PARAMS) == 20.0
+        assert cost_drop_index(PARAMS).page_writes == 0.0
+        heavy = CostParams(io_write_cost=10.0)
+        assert cost_drop_index(heavy).total(heavy) == 20.0
+
     def test_build_reads_the_heap_once(self, stats, schema):
         geometry = IndexGeometry.compute(schema, ["a"], stats.nrows)
         build = cost_build_index(stats, geometry, PARAMS)

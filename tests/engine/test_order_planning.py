@@ -1,0 +1,161 @@
+"""Randomized coverage for ordering claims in the planner.
+
+``AccessPath.provides_order`` is a promise: when it is True the plan's
+Sort node is a free pass-through, so a wrong claim silently returns
+unsorted rows. The grid below executes every (predicate shape x order
+column x direction) combination under several index sets and asserts
+the output really is sorted and is the right multiset — whichever
+access path won.
+"""
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.sqlengine import Database, IndexDef
+
+NROWS = 3_000
+
+
+@pytest.fixture(scope="module")
+def db():
+    db = Database()
+    db.create_table("t", [("a", "INTEGER"), ("b", "INTEGER"),
+                          ("c", "INTEGER")])
+    rng = np.random.default_rng(42)
+    db.bulk_load("t", {"a": rng.integers(0, 50, NROWS),
+                       "b": rng.integers(0, 400, NROWS),
+                       "c": rng.integers(0, 400, NROWS)})
+    return db
+
+
+@pytest.fixture(scope="module")
+def arrays(db):
+    return {c: db.table("t").column_array(c).copy()
+            for c in ("a", "b", "c")}
+
+
+INDEX_SETS = [
+    (),
+    (IndexDef("t", ("a", "b")),),
+    (IndexDef("t", ("c",)), IndexDef("t", ("a", "b"))),
+]
+
+WHERE_SHAPES = [
+    "",
+    "WHERE a = {eq}",
+    "WHERE a = {eq} AND b < {hi}",
+    "WHERE a BETWEEN {lo} AND {hi_a}",
+    "WHERE c > {hi}",
+]
+
+
+def reference_rows(arrays, where, eq, lo, hi, hi_a):
+    mask = np.ones(len(arrays["a"]), dtype=bool)
+    if "a = " in where:
+        mask &= arrays["a"] == eq
+    if "b < " in where:
+        mask &= arrays["b"] < hi
+    if "BETWEEN" in where:
+        mask &= (arrays["a"] >= lo) & (arrays["a"] <= hi_a)
+    if "c > " in where:
+        mask &= arrays["c"] > hi
+    return mask
+
+
+@pytest.mark.parametrize("defs", INDEX_SETS,
+                         ids=["none", "ab", "c+ab"])
+@pytest.mark.parametrize("where", WHERE_SHAPES,
+                         ids=["all", "eq_a", "eq_a_lt_b", "range_a",
+                              "gt_c"])
+@pytest.mark.parametrize("order_col", ["a", "b", "c"])
+@pytest.mark.parametrize("descending", [False, True],
+                         ids=["asc", "desc"])
+def test_order_claim_matches_output(db, arrays, defs, where,
+                                    order_col, descending):
+    case = f"{sorted(d.columns for d in defs)}|{where}|" \
+           f"{order_col}|{descending}"
+    rng = np.random.default_rng(zlib.crc32(case.encode()))
+    eq = int(rng.integers(0, 50))
+    lo = int(rng.integers(0, 25))
+    hi_a = lo + int(rng.integers(0, 20))
+    hi = int(rng.integers(50, 350))
+    db.apply_configuration(set(defs))
+    try:
+        direction = " DESC" if descending else ""
+        sql = (f"SELECT {order_col} FROM t "
+               f"{where.format(eq=eq, lo=lo, hi=hi, hi_a=hi_a)} "
+               f"ORDER BY {order_col}{direction}")
+        result = db.execute(sql)
+        got = [row[0] for row in result.rows]
+        mask = reference_rows(arrays, where, eq, lo, hi, hi_a)
+        want = sorted((int(x) for x in arrays[order_col][mask]),
+                      reverse=descending)
+        assert got == want, (
+            f"{sql!r} via {result.access_path.describe(db.params)}")
+    finally:
+        db.apply_configuration(set())
+
+
+class TestOrderClaims:
+    """The three non-obvious provides_order rules, each pinned to the
+    access path that exercises it."""
+
+    def test_eq_constant_order_column_any_path(self, db):
+        # ORDER BY a with a = 7: every row ties, so any access path
+        # may claim the order — including a plain heap scan.
+        path = db.plan("SELECT b FROM t WHERE a = 7 ORDER BY a")
+        assert path.kind == "full_scan"
+        assert path.provides_order
+
+    def test_seek_suffix_provides_order(self, db):
+        db.apply_configuration({IndexDef("t", ("a", "b"))})
+        try:
+            path = db.plan("SELECT b FROM t WHERE a = 7 ORDER BY b")
+            assert path.kind == "index_seek"
+            assert path.provides_order
+            # ...but only for the column right after the eq prefix.
+            other = db.plan("SELECT c FROM t WHERE a = 7 ORDER BY c")
+            assert not other.provides_order
+        finally:
+            db.apply_configuration(set())
+
+    def test_covering_scan_leading_column(self, db):
+        db.apply_configuration({IndexDef("t", ("a", "b"))})
+        try:
+            path = db.plan("SELECT a, b FROM t ORDER BY a")
+            assert path.kind == "index_only_scan"
+            assert path.provides_order
+            trailing = db.plan("SELECT a, b FROM t ORDER BY b")
+            assert not trailing.provides_order
+        finally:
+            db.apply_configuration(set())
+
+
+class TestGroupByOrdering:
+    def test_group_rows_ascending_by_default(self, db, arrays):
+        result = db.execute(
+            "SELECT a, COUNT(*) FROM t WHERE b < 50 GROUP BY a")
+        keys = [row[0] for row in result.rows]
+        assert keys == sorted(keys)
+        mask = arrays["b"] < 50
+        want = {int(v): int(n) for v, n in
+                zip(*np.unique(arrays["a"][mask], return_counts=True))}
+        assert dict(result.rows) == want
+
+    def test_group_order_by_desc(self, db):
+        result = db.execute(
+            "SELECT a, COUNT(*) FROM t GROUP BY a ORDER BY a DESC")
+        keys = [row[0] for row in result.rows]
+        assert keys == sorted(keys, reverse=True)
+
+    def test_grouped_aggregate_under_index(self, db, arrays):
+        db.apply_configuration({IndexDef("t", ("a", "b"))})
+        try:
+            result = db.execute(
+                "SELECT a, MAX(b) FROM t WHERE a = 9 GROUP BY a")
+            rows_b = arrays["b"][arrays["a"] == 9]
+            assert result.rows == [(9, int(rows_b.max()))]
+        finally:
+            db.apply_configuration(set())

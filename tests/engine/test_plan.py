@@ -1,0 +1,239 @@
+"""Unit tests for the physical-plan IR.
+
+Pins the three properties the refactor exists for: plans estimate
+themselves through the same cost-model functions the legacy planner
+called (bit-identically), plan trees compare structurally as frozen
+dataclasses, and ``explain`` renders the tree the executor will run.
+"""
+
+import pytest
+
+from repro.sqlengine import CostParams, IndexDef
+from repro.sqlengine.costmodel import (cost_full_scan,
+                                       cost_index_only_scan,
+                                       cost_index_seek, cost_sort)
+from repro.sqlengine.index import IndexGeometry
+from repro.sqlengine.plan import (Aggregate, FetchHeap, Filter,
+                                  GroupAggregate, Project, ScanHeap,
+                                  ScanIndexLeaf, SeekIndex, Sort,
+                                  in_key_residual_selectivity,
+                                  seek_key_selectivity)
+from repro.sqlengine.planner import (analyze_select, choose_access_path,
+                                     enumerate_access_paths)
+from repro.sqlengine.sql import parse
+
+PARAMS = CostParams()
+
+
+@pytest.fixture(scope="module")
+def schema(small_db):
+    return small_db.table("t").schema
+
+
+@pytest.fixture(scope="module")
+def stats(small_db):
+    return small_db.stats("t")
+
+
+def geometries(schema, stats, *defs):
+    return [(d, IndexGeometry.compute(schema, d.columns, stats.nrows))
+            for d in defs]
+
+
+def plan_for(sql, schema, stats, pairs):
+    info = analyze_select(parse(sql), schema)
+    return choose_access_path(info, stats, pairs, PARAMS)
+
+
+def unwrap(plan, *types):
+    """Assert the plan spine matches ``types`` root-down; return the
+    innermost node."""
+    node = plan
+    for expected in types:
+        assert isinstance(node, expected), (
+            f"expected {expected.__name__}, got {node.label()}")
+        children = node.children()
+        node = children[0] if children else None
+    return node
+
+
+class TestPipelineShapes:
+    def test_full_scan(self, schema, stats):
+        path = plan_for("SELECT a FROM t WHERE a = 5",
+                        schema, stats, [])
+        unwrap(path.plan, Project, ScanHeap)
+
+    def test_covering_seek_has_no_fetch(self, schema, stats):
+        pairs = geometries(schema, stats, IndexDef("t", ("a",)))
+        path = plan_for("SELECT a FROM t WHERE a = 5",
+                        schema, stats, pairs)
+        assert path.kind == "index_seek" and path.covering
+        unwrap(path.plan, Project, SeekIndex)
+
+    def test_non_covering_seek_fetches_heap(self, schema, stats):
+        pairs = geometries(schema, stats, IndexDef("t", ("a",)))
+        path = plan_for("SELECT c FROM t WHERE a = 5",
+                        schema, stats, pairs)
+        assert path.kind == "index_seek" and not path.covering
+        unwrap(path.plan, Project, FetchHeap, SeekIndex)
+
+    def test_in_key_residual_becomes_filter(self, schema, stats):
+        # Range on a consumes the seek; eq on b is a leaf residual.
+        pairs = geometries(schema, stats, IndexDef("t", ("a", "b")))
+        path = plan_for(
+            "SELECT a FROM t WHERE a BETWEEN 10 AND 500 AND b = 7",
+            schema, stats, pairs)
+        assert path.kind == "index_seek"
+        node = unwrap(path.plan, Project, Filter)
+        assert isinstance(node, SeekIndex)
+        filter_node = path.plan.child
+        assert filter_node.eq == (("b", 7),)
+
+    def test_index_only_scan_filters_on_leaf(self, schema, stats):
+        pairs = geometries(schema, stats, IndexDef("t", ("a", "b")))
+        path = plan_for("SELECT b FROM t WHERE b = 5",
+                        schema, stats, pairs)
+        assert path.kind == "index_only_scan"
+        unwrap(path.plan, Project, Filter, ScanIndexLeaf)
+
+    def test_predicate_free_index_only_scan_skips_empty_filter(
+            self, schema, stats):
+        pairs = geometries(schema, stats, IndexDef("t", ("a", "b")))
+        path = plan_for("SELECT b FROM t", schema, stats, pairs)
+        assert path.kind == "index_only_scan"
+        unwrap(path.plan, Project, ScanIndexLeaf)
+
+    def test_order_by_inserts_sort(self, schema, stats):
+        path = plan_for("SELECT c FROM t ORDER BY c",
+                        schema, stats, [])
+        sort = unwrap(path.plan, Project)
+        assert isinstance(sort, Sort)
+        assert not sort.presorted
+
+    def test_index_provided_order_is_presorted(self, schema, stats):
+        pairs = geometries(schema, stats, IndexDef("t", ("a", "b")))
+        path = plan_for("SELECT b FROM t WHERE a = 5 ORDER BY b",
+                        schema, stats, pairs)
+        assert path.provides_order
+        sort = unwrap(path.plan, Project)
+        assert isinstance(sort, Sort) and sort.presorted
+
+    def test_aggregate_wraps_projection(self, schema, stats):
+        path = plan_for("SELECT COUNT(*) FROM t WHERE a = 5",
+                        schema, stats, [])
+        unwrap(path.plan, Aggregate, Project, ScanHeap)
+
+    def test_group_by_wraps_projection(self, schema, stats):
+        path = plan_for("SELECT a, COUNT(*) FROM t GROUP BY a",
+                        schema, stats, [])
+        unwrap(path.plan, GroupAggregate, Project, ScanHeap)
+
+
+class TestEstimateBitIdentity:
+    """Plan estimates must equal the legacy cost-function calls the
+    planner used to make — exactly, not approximately."""
+
+    def test_full_scan(self, schema, stats):
+        path = plan_for("SELECT a FROM t WHERE a = 5",
+                        schema, stats, [])
+        assert path.cost == cost_full_scan(stats, PARAMS)
+        assert path.plan.estimate(stats, PARAMS) == path.cost
+
+    def test_index_only_scan(self, schema, stats):
+        pairs = geometries(schema, stats, IndexDef("t", ("a", "b")))
+        path = plan_for("SELECT b FROM t WHERE b = 5",
+                        schema, stats, pairs)
+        assert path.cost == cost_index_only_scan(stats, pairs[0][1],
+                                                 PARAMS)
+
+    def test_seek_composes_cost_index_seek(self, schema, stats):
+        """SeekIndex + FetchHeap decompose ``cost_index_seek`` with the
+        same float-addition order the monolithic function uses."""
+        index, geometry = geometries(schema, stats,
+                                     IndexDef("t", ("a",)))[0]
+        info = analyze_select(
+            parse("SELECT c FROM t WHERE a BETWEEN 10 AND 500"), schema)
+        path = choose_access_path(info, stats, [(index, geometry)],
+                                  PARAMS)
+        assert path.kind == "index_seek"
+        key_sel = seek_key_selectivity(info, stats, index.columns,
+                                       path.eq_prefix_len,
+                                       path.uses_range)
+        residual = in_key_residual_selectivity(
+            info, stats, index.columns, path.eq_prefix_len,
+            path.uses_range)
+        legacy = cost_index_seek(stats, geometry, key_sel,
+                                 covering=False,
+                                 residual_selectivity=residual,
+                                 params=PARAMS)
+        assert path.cost == legacy
+
+    def test_sort_adds_cost_sort(self, schema, stats):
+        plain = plan_for("SELECT c FROM t", schema, stats, [])
+        ordered = plan_for("SELECT c FROM t ORDER BY c",
+                           schema, stats, [])
+        assert ordered.cost == (plain.cost +
+                                cost_sort(ordered.est_rows, PARAMS))
+
+    def test_presorted_sort_is_free(self, schema, stats):
+        pairs = geometries(schema, stats, IndexDef("t", ("a", "b")))
+        plain = plan_for("SELECT b FROM t WHERE a = 5",
+                         schema, stats, pairs)
+        ordered = plan_for("SELECT b FROM t WHERE a = 5 ORDER BY b",
+                           schema, stats, pairs)
+        assert ordered.cost == plain.cost
+
+    def test_enumeration_costs_match_plan_estimates(self, schema,
+                                                    stats):
+        pairs = geometries(schema, stats, IndexDef("t", ("a",)),
+                           IndexDef("t", ("a", "b")))
+        info = analyze_select(
+            parse("SELECT a FROM t WHERE a = 5 AND b > 3"), schema)
+        for path in enumerate_access_paths(info, stats, pairs, PARAMS):
+            assert path.cost == path.plan.estimate(stats, PARAMS)
+
+
+class TestStructuralEquality:
+    def test_same_query_same_tree(self, schema, stats):
+        pairs = geometries(schema, stats, IndexDef("t", ("a",)))
+        first = plan_for("SELECT c FROM t WHERE a = 5",
+                         schema, stats, pairs)
+        second = plan_for("SELECT c FROM t WHERE a = 5",
+                          schema, stats, pairs)
+        assert first.plan is not second.plan
+        assert first.plan == second.plan
+
+    def test_different_constant_different_tree(self, schema, stats):
+        pairs = geometries(schema, stats, IndexDef("t", ("a",)))
+        first = plan_for("SELECT c FROM t WHERE a = 5",
+                         schema, stats, pairs)
+        second = plan_for("SELECT c FROM t WHERE a = 6",
+                          schema, stats, pairs)
+        assert first.plan != second.plan
+
+    def test_plans_are_frozen(self, schema, stats):
+        path = plan_for("SELECT a FROM t", schema, stats, [])
+        with pytest.raises(Exception):
+            path.plan.info = None
+
+
+class TestExplain:
+    def test_tree_rendering(self, schema, stats):
+        pairs = geometries(schema, stats, IndexDef("t", ("a",)))
+        path = plan_for("SELECT c FROM t WHERE a = 5 AND b != 9 "
+                        "ORDER BY c", schema, stats, pairs)
+        text = path.plan.explain()
+        lines = text.splitlines()
+        assert lines[0].startswith("Project(c)")
+        assert any("Sort(c)" in line for line in lines)
+        assert any("FetchHeap(t)" in line for line in lines)
+        assert any("SeekIndex(I(a), eq_prefix=1)" in line
+                   for line in lines)
+        # One connector per non-root line.
+        assert all("└─" in line or "├─" in line for line in lines[1:])
+
+    def test_costed_rendering(self, schema, stats):
+        path = plan_for("SELECT a FROM t", schema, stats, [])
+        text = path.plan.explain(stats, PARAMS)
+        total = path.cost.total(PARAMS)
+        assert f"cost={total:.2f}" in text

@@ -136,6 +136,55 @@ class TestExperimentCommand:
         assert "Figure 4" in out and "k-aware graph" in out
 
 
+class TestExplainCommand:
+    # Golden output: the synthesized table is seeded (--seed 0,
+    # --rows 5000 defaults), so the plan tree and its costs are
+    # deterministic. CI diffs against this rendering.
+    GOLDEN_SEEK = (
+        "synthesized table 't': 5000 rows, columns ['a', 'b', 'c']\n"
+        "hypothetical configuration: I(a,b)\n"
+        "index_seek(I(a,b)) cost=2.00 rows~0.0\n"
+        "Project(c)  cost=2.00\n"
+        "└─ Sort(c)  cost=2.00\n"
+        "   └─ FetchHeap(t)  cost=2.00\n"
+        "      └─ SeekIndex(I(a,b), eq_prefix=1, range)  cost=2.00\n")
+
+    def test_golden_seek_pipeline(self, capsys):
+        assert main(["explain",
+                     "SELECT c FROM t WHERE a = 5 AND b > 100 "
+                     "ORDER BY c", "--index", "a,b"]) == 0
+        assert capsys.readouterr().out == self.GOLDEN_SEEK
+
+    def test_full_scan_without_config(self, capsys):
+        assert main(["explain", "SELECT a FROM t WHERE a = 5"]) == 0
+        out = capsys.readouterr().out
+        assert "full_scan(heap)" in out
+        assert "ScanHeap(t)" in out
+        assert "hypothetical configuration" not in out
+
+    def test_hypothetical_view(self, capsys):
+        assert main(["explain", "SELECT a FROM t WHERE b = 5",
+                     "--view", "a,b"]) == 0
+        out = capsys.readouterr().out
+        assert "hypothetical configuration: V(a,b)" in out
+        assert "ScanView(V(a,b))" in out
+
+    def test_group_aggregate_pipeline(self, capsys):
+        assert main(["explain",
+                     "SELECT a, COUNT(*) FROM t "
+                     "WHERE b BETWEEN 100 AND 200 GROUP BY a"]) == 0
+        out = capsys.readouterr().out
+        assert "GroupAggregate(a; COUNT(*))" in out
+
+    def test_non_select_rejected(self, capsys):
+        assert main(["explain", "DELETE FROM t"]) == 2
+        assert "only SELECT" in capsys.readouterr().err
+
+    def test_uninferrable_schema_rejected(self, capsys):
+        assert main(["explain", "SELECT COUNT(*) FROM t"]) == 2
+        assert "cannot infer" in capsys.readouterr().err
+
+
 class TestTopLevel:
     def test_no_command_prints_help(self, capsys):
         assert main([]) == 2

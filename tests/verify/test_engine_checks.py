@@ -1,11 +1,15 @@
-"""Families 3+4 on a live trace instance, plus negative tests proving
+"""Families 3-5 on a live trace instance, plus negative tests proving
 the checks can actually fail."""
+
+import dataclasses
 
 from repro.core.kaware import (constrained_invariant_violations,
                                solve_constrained)
+from repro.sqlengine.whatif import WhatIfOptimizer
 from repro.verify.checks import (DEFAULT_GROUND_TRUTH_BUDGETS,
                                  check_cost_service,
                                  check_ground_truth,
+                                 check_plan_identity,
                                  replay_ranking_failures,
                                  solver_agreement_failures)
 from repro.verify.generators import random_trace_problem
@@ -81,6 +85,47 @@ def test_experiment_verify_pass_flags_bad_solutions(quick_trace):
     violations = constrained_invariant_violations(
         matrices, tampered, 1, count_initial_change=False)
     assert any("canonical" in v for v in violations)
+
+
+def test_plan_identity_family_clean(quick_trace, assert_family_clean):
+    result = assert_family_clean(check_plan_identity, quick_trace)
+    assert result.checks > 50
+    # The check must leave the database in the empty design.
+    assert quick_trace.db.current_configuration() == frozenset()
+
+
+def test_plan_identity_50_seed_corpus():
+    """Acceptance corpus: the what-if optimizer and the executor pick
+    structurally identical plan trees on 50 independently seeded trace
+    problems (small instances — coverage over depth)."""
+    for seed in range(50):
+        trace = random_trace_problem(seed=seed, nrows=400, n_blocks=2,
+                                     block_size=8)
+        result = CheckResult("planidentity", "corpus")
+        check_plan_identity(trace, result)
+        assert result.ok, (
+            f"seed {seed}:\n" + "\n".join(
+                failure.format() for failure in result.failures))
+        assert result.checks > 0
+
+
+def test_plan_identity_detects_missing_plan(monkeypatch):
+    """Stripping the plan off the what-if estimate must fail the
+    family — proves the check inspects the literal plan objects."""
+    trace = random_trace_problem(seed=4, nrows=800, n_blocks=2,
+                                 block_size=8)
+    original = WhatIfOptimizer.estimate_statement
+
+    def tampered(self, statement, structures):
+        estimate = original(self, statement, structures)
+        return dataclasses.replace(estimate, plan=None)
+
+    monkeypatch.setattr(WhatIfOptimizer, "estimate_statement", tampered)
+    result = CheckResult("planidentity", "negative")
+    check_plan_identity(trace, result)
+    assert not result.ok
+    assert any("missing plan tree" in failure.message
+               for failure in result.failures)
 
 
 def test_replay_ranking_consistency_helper():

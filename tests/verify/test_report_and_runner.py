@@ -59,7 +59,8 @@ def test_runner_covers_all_families():
     report = run_verification(seed=3, instances=4, quick=True,
                               nrows=1_000, traces=1)
     assert [r.family for r in report.results] == [
-        "solvers", "invariants", "costservice", "groundtruth"]
+        "solvers", "invariants", "costservice", "groundtruth",
+        "planidentity"]
     assert report.ok
     assert all(r.checks > 0 for r in report.results)
     assert report.seconds > 0
