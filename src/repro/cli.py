@@ -22,6 +22,12 @@ Commands:
   invariants, cost-service bit-identity, what-if estimates against
   live execution, and what-if plan trees against executor plan trees;
   exits non-zero on any disagreement.
+* ``chaos`` — the fault-resilience verify family: replay fixtures
+  under seeded fault plans and assert that mid-build faults roll the
+  catalog and buffer state back atomically, that transient-only plans
+  converge bit-identically to the fault-free run, and that permanent
+  estimation faults degrade gracefully instead of crashing the
+  advisors.
 
 The CLI is self-contained: ``recommend`` infers the schema from the
 trace's queries and populates a synthetic table, so no database setup
@@ -186,6 +192,22 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="live trace instances (default 1 quick "
                              "/ 2 full)")
     verify.set_defaults(handler=_cmd_verify)
+
+    chaos = sub.add_parser(
+        "chaos", help="run the fault-resilience verify family: "
+                      "replay fixtures under injected fault plans "
+                      "and assert catalog atomicity, metric "
+                      "conservation, and transient-only convergence "
+                      "to the fault-free recommendation")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--plans", type=int, default=3,
+                       help="randomized transient-only fault plans "
+                            "for the engine convergence check "
+                            "(default 3)")
+    chaos.add_argument("--quick", action="store_true",
+                       help="stride the atomicity sweep and shrink "
+                            "the fixtures to CI scale")
+    chaos.set_defaults(handler=_cmd_chaos)
     return parser
 
 
@@ -418,6 +440,16 @@ def _cmd_verify(args) -> int:
                               quick=args.quick, nrows=args.rows,
                               traces=args.traces)
     print(report.format())
+    return 0 if report.ok else 1
+
+
+def _cmd_chaos(args) -> int:
+    from .verify import run_chaos
+    report = run_chaos(seed=args.seed, plans=args.plans,
+                       quick=args.quick)
+    # No timing suffix: the chaos report is deterministic in the
+    # seed, so the printed output is diffable across runs.
+    print(report.format(include_timing=False))
     return 0 if report.ok else 1
 
 

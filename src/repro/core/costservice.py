@@ -43,6 +43,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..errors import EstimationUnavailable
+from ..faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from ..sqlengine.whatif import StatementTemplate, WhatIfOptimizer
 from ..workload.segmentation import Segment
 from .costmatrix import CostMatrices
@@ -71,6 +73,17 @@ class CostEstimationStats:
         unique_templates: distinct templates seen so far.
         exec_seconds / trans_seconds: wall time in EXEC / TRANS
             estimation (cache management included).
+        estimate_faults: :class:`EstimationUnavailable` raised by the
+            optimizer (injected timeouts/failures).
+        estimate_retries: immediate re-attempts of transient
+            estimation faults.
+        degraded_estimates: estimates served *degraded* (stale epoch
+            or upper bound) instead of exact. Consumers must never
+            treat these as exact; the online tuner watches this
+            counter to defer design changes.
+        stale_fallbacks / upper_bound_fallbacks: which rung of the
+            degradation ladder resolved each newly degraded
+            (template, config) pair.
     """
 
     whatif_calls: int = 0
@@ -87,6 +100,11 @@ class CostEstimationStats:
     unique_templates: int = 0
     exec_seconds: float = 0.0
     trans_seconds: float = 0.0
+    estimate_faults: int = 0
+    estimate_retries: int = 0
+    degraded_estimates: int = 0
+    stale_fallbacks: int = 0
+    upper_bound_fallbacks: int = 0
 
     @property
     def exec_requests(self) -> int:
@@ -141,9 +159,11 @@ class CostService:
     """
 
     def __init__(self, optimizer: WhatIfOptimizer,
-                 selectivity_resolution: Optional[float] = None):
+                 selectivity_resolution: Optional[float] = None,
+                 retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY):
         self.optimizer = optimizer
         self.selectivity_resolution = selectivity_resolution
+        self.retry_policy = retry_policy
         self.stats = CostEstimationStats()
         self._stats_epoch = optimizer.stats_epoch
         self._template_by_sql: Dict[str, StatementTemplate] = {}
@@ -153,6 +173,15 @@ class CostService:
         self._trans_cache: Dict[Tuple[Configuration, Configuration],
                                 float] = {}
         self._size_cache: Dict[Configuration, int] = {}
+        # Degradation ladder state. _stale_units keeps the last known
+        # exact value per (template, config) across epoch
+        # invalidations — rung 2 of the ladder. _degraded_units pins
+        # degraded answers for within-epoch determinism; it is a
+        # separate cache precisely so degraded values are never
+        # promoted into the exact caches above.
+        self._stale_units: Dict[Tuple[Tuple, Configuration], float] = {}
+        self._degraded_units: Dict[Tuple[Tuple, Configuration],
+                                   float] = {}
 
     # ------------------------------------------------------------------
     # CostProvider protocol (scalar path)
@@ -236,6 +265,7 @@ class CostService:
 
         # One estimate per (template, configuration) not yet cached.
         calls_before = self.stats.whatif_calls
+        degraded_cells: set = set()
         units = np.empty((len(templates), len(configs)),
                          dtype=np.float64)
         for j, config in enumerate(configs):
@@ -243,17 +273,22 @@ class CostService:
                 key = (template.key, config)
                 value = self._template_units.get(key)
                 if value is None:
-                    value = self.optimizer.estimate_template(
-                        template, config.structures).units
-                    self._template_units[key] = value
-                    self.stats.whatif_calls += 1
+                    value, degraded = self._issue_template(template,
+                                                           config)
+                    if degraded:
+                        degraded_cells.add((r, j))
+                    else:
+                        self._template_units[key] = value
                 else:
                     self.stats.template_hits += 1
                 units[r, j] = value
 
-        # Warm the L1 cache so later scalar calls are dict lookups.
+        # Warm the L1 cache so later scalar calls are dict lookups —
+        # except from degraded cells, which never enter exact caches.
         for sql, row in sql_row.items():
             for j, config in enumerate(configs):
+                if (row, j) in degraded_cells:
+                    continue
                 self._statement_units[(sql, config)] = float(
                     units[row, j])
 
@@ -275,7 +310,7 @@ class CostService:
         self.stats.batched_templates += len(templates)
         issued = self.stats.whatif_calls - calls_before
         self.stats.whatif_calls_avoided += \
-            n_statements * len(configs) - issued
+            n_statements * len(configs) - issued - len(degraded_cells)
         self.stats.exec_seconds += time.perf_counter() - start
         return matrix
 
@@ -322,13 +357,21 @@ class CostService:
 
     def invalidate(self) -> None:
         """Drop every cache (call after out-of-band stats changes; the
-        optimizer's own ``refresh_stats`` is detected automatically)."""
+        optimizer's own ``refresh_stats`` is detected automatically).
+
+        The retiring exact template values are kept as the *stale
+        epoch* — rung 2 of the degradation ladder — so estimation
+        outages after a stats refresh degrade to the last known exact
+        answer instead of the crude upper bound.
+        """
+        self._stale_units.update(self._template_units)
         self._template_by_sql.clear()
         self._template_keys.clear()
         self._statement_units.clear()
         self._template_units.clear()
         self._trans_cache.clear()
         self._size_cache.clear()
+        self._degraded_units.clear()
 
     # ------------------------------------------------------------------
     # internals
@@ -361,12 +404,55 @@ class CostService:
         l2_key = (template.key, config)
         units = self._template_units.get(l2_key)
         if units is None:
-            units = self.optimizer.estimate_template(
-                template, config.structures).units
+            units, degraded = self._issue_template(template, config)
+            if degraded:
+                # Degraded answers never enter the exact caches.
+                return units
             self._template_units[l2_key] = units
-            self.stats.whatif_calls += 1
         else:
             self.stats.template_hits += 1
             self.stats.whatif_calls_avoided += 1
         self._statement_units[l1_key] = units
         return units
+
+    def _issue_template(self, template: StatementTemplate,
+                        config: Configuration
+                        ) -> Tuple[float, bool]:
+        """One (template, config) estimate through the degradation
+        ladder: exact (with transient retries) -> last exact value
+        from a previous stats epoch -> heap-scan upper bound.
+
+        Returns ``(units, degraded)``; degraded values are cached
+        separately (within-epoch determinism) and must never be
+        promoted to the exact caches.
+        """
+        attempt = 1
+        while True:
+            try:
+                units = self.optimizer.estimate_template(
+                    template, config.structures).units
+                self.stats.whatif_calls += 1
+                return units, False
+            except EstimationUnavailable as exc:
+                self.stats.estimate_faults += 1
+                if exc.retryable and \
+                        attempt < self.retry_policy.max_attempts:
+                    self.stats.estimate_retries += 1
+                    attempt += 1
+                    continue
+                break
+        self.stats.degraded_estimates += 1
+        key = (template.key, config)
+        units = self._degraded_units.get(key)
+        if units is not None:
+            return units, True
+        stale = self._stale_units.get(key)
+        if stale is not None:
+            self.stats.stale_fallbacks += 1
+            units = stale
+        else:
+            self.stats.upper_bound_fallbacks += 1
+            units = self.optimizer.scan_upper_bound(
+                template.representative, config.structures)
+        self._degraded_units[key] = units
+        return units, True

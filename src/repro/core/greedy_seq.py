@@ -92,7 +92,10 @@ def greedy_seq_candidates(
             n_explored += 1
             if cost < best_cost:
                 best, best_cost = config, cost
-        assert best is not None
+        if best is None:
+            raise DesignError(
+                "no candidate configuration could be costed for "
+                f"segment {segment!r}")
         per_segment_best.append(best)
 
     candidates: List[Configuration] = []

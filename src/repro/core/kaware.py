@@ -31,7 +31,7 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import InfeasibleProblemError
+from ..errors import DesignError, InfeasibleProblemError
 from .costmatrix import CostMatrices
 
 _INF = np.inf
@@ -290,7 +290,11 @@ def solve_constrained_reference(matrices: CostMatrices, k: int,
     assignment = [cfg]
     for i in range(n_seg - 1, 0, -1):
         pointer = back[i][layer][cfg]
-        assert pointer is not None
+        if pointer is None:
+            raise DesignError(
+                f"broken backpointer chain at segment {i} "
+                f"(layer {layer}, config {cfg}); the DP table is "
+                f"inconsistent")
         layer, cfg = pointer
         assignment.append(cfg)
     assignment.reverse()

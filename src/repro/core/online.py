@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from ..errors import DesignError
+from ..errors import DesignError, EstimationUnavailable
 from ..sqlengine.index import IndexDef, structure_sort_key
 from ..workload.model import Statement
 from ..workload.segmentation import Segment
@@ -64,6 +64,10 @@ class OnlineResult:
             tuning is the heaviest scalar consumer — one estimate per
             candidate per statement — so the service's template cache
             matters most here.
+        deferrals: statements at which the tuner refused to update its
+            evidence or change designs because estimates were
+            unavailable or served degraded (a degraded estimate is
+            never treated as exact evidence).
     """
 
     design: DesignSequence
@@ -72,6 +76,7 @@ class OnlineResult:
     trans_cost: float
     decisions: List[OnlineDecision]
     costing: Optional[Dict[str, object]] = None
+    deferrals: int = 0
 
     @property
     def change_count(self) -> int:
@@ -119,55 +124,112 @@ class OnlineTuner:
         self.reset()
 
     def reset(self) -> None:
+        """Forget everything: evidence, position, and partial-run
+        accumulators. ``run(..., reset=True)`` calls this; a resumed
+        run (``reset=False``) deliberately does not."""
         self.current = self.initial
         self._benefit: Dict[IndexDef, float] = {
             d: 0.0 for d in self.candidates}
         self._last_change = -10 ** 9
+        self._position = 0
+        self._assignments: List[Configuration] = []
+        self._decisions: List[OnlineDecision] = []
+        self._exec_cost = 0.0
+        self._trans_cost = 0.0
+        self._deferrals = 0
 
     # ------------------------------------------------------------------
 
-    def run(self, statements: Sequence[Statement]) -> OnlineResult:
-        """Tune over a statement stream from scratch."""
-        self.reset()
+    def run(self, statements: Sequence[Statement],
+            reset: bool = True) -> OnlineResult:
+        """Tune over a statement stream.
+
+        With ``reset=False`` the call *resumes* a previous run:
+        evidence, the current design, the cooldown clock, and the
+        change count all continue from where the last call stopped, so
+        an interrupted stream processed in two halves produces exactly
+        the decisions (and pays exactly the transitions) of one
+        uninterrupted run — transitions are never double-counted. The
+        returned result always covers the whole accumulated run.
+        """
+        if reset:
+            self.reset()
         snapshot = None
         if callable(getattr(self.provider, "stats_snapshot", None)):
             snapshot = self.provider.stats_snapshot()
-        assignments: List[Configuration] = []
-        decisions: List[OnlineDecision] = []
-        exec_cost = 0.0
-        trans_cost = 0.0
-        for i, statement in enumerate(statements):
+        for offset, statement in enumerate(statements):
+            i = self._position + offset
             config = self.current
-            assignments.append(config)
+            self._assignments.append(config)
             segment = Segment((statement,), start=i)
-            exec_cost += self.provider.exec_cost(segment, config)
+            try:
+                self._exec_cost += self.provider.exec_cost(segment,
+                                                           config)
+            except EstimationUnavailable:
+                # The statement still ran under the current design
+                # (the assignment stands) but its cost is unknowable
+                # right now; defer the whole observation.
+                self._deferrals += 1
+                continue
             decision = self._observe(segment, i)
             if decision is not None:
-                decisions.append(decision)
-                trans_cost += self.provider.trans_cost(decision.old,
-                                                       decision.new)
-        if not assignments:
+                self._decisions.append(decision)
+                self._trans_cost += self.provider.trans_cost(
+                    decision.old, decision.new)
+        self._position += len(statements)
+        if not self._assignments:
             raise DesignError("empty statement stream")
-        design = DesignSequence(self.initial, assignments)
+        design = DesignSequence(self.initial, list(self._assignments))
         costing = None
         if snapshot is not None:
             costing = self.provider.stats_delta(snapshot)
         return OnlineResult(design=design,
-                            total_cost=exec_cost + trans_cost,
-                            exec_cost=exec_cost, trans_cost=trans_cost,
-                            decisions=decisions, costing=costing)
+                            total_cost=self._exec_cost +
+                            self._trans_cost,
+                            exec_cost=self._exec_cost,
+                            trans_cost=self._trans_cost,
+                            decisions=list(self._decisions),
+                            costing=costing,
+                            deferrals=self._deferrals)
 
     # ------------------------------------------------------------------
 
+    def _provider_degraded(self) -> int:
+        """The provider's degraded-estimate counter (0 when the
+        provider has no degradation instrumentation)."""
+        stats = getattr(self.provider, "stats", None)
+        return getattr(stats, "degraded_estimates", 0)
+
     def _observe(self, segment: Segment,
                  index_in_stream: int) -> Optional[OnlineDecision]:
-        """Update evidence with one statement; maybe switch designs."""
-        baseline = self.provider.exec_cost(segment, self.current)
+        """Update evidence with one statement; maybe switch designs.
+
+        Degradation guard: every cost this step needs is computed
+        *before* any evidence moves. If estimation is unavailable, or
+        the provider served any of these estimates degraded (its
+        ``degraded_estimates`` counter advanced), the whole
+        observation is deferred — no accumulator update, no design
+        change — because degraded estimates must never masquerade as
+        exact evidence.
+        """
+        degraded_before = self._provider_degraded()
+        try:
+            baseline = self.provider.exec_cost(segment, self.current)
+            candidate_cost = {
+                definition: self.provider.exec_cost(
+                    segment, self._configs[definition])
+                for definition in self.candidates}
+        except EstimationUnavailable:
+            self._deferrals += 1
+            return None
+        if self._provider_degraded() != degraded_before:
+            self._deferrals += 1
+            return None
         best_candidate: Optional[IndexDef] = None
         best_benefit = 0.0
         for definition in self.candidates:
             config = self._configs[definition]
-            saved = baseline - self.provider.exec_cost(segment, config)
+            saved = baseline - candidate_cost[definition]
             # Statements the incumbent serves better count *against*
             # the candidate (hysteresis); the accumulator is floored
             # at zero so contrary evidence can't build an infinite

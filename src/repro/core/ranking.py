@@ -27,7 +27,8 @@ import sys
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..errors import InfeasibleProblemError, RankingExhaustedError
+from ..errors import (DesignError, InfeasibleProblemError,
+                      RankingExhaustedError)
 from .costmatrix import CostMatrices
 from .sequence_graph import SINK, SOURCE, Node, SequenceGraph
 
@@ -159,7 +160,10 @@ class _PathRanker:
                     total = pred_cost + weight
                     if best is None or total < best[0]:
                         best = (total, pred, 1)
-                assert best is not None
+                if best is None:
+                    raise DesignError(
+                        f"graph node {node} has no predecessors; "
+                        f"the sequence graph is malformed")
                 self._paths[node] = [best]
             previous_stage = [(stage, c)
                               for c in range(graph.n_configurations)]
@@ -168,14 +172,16 @@ class _PathRanker:
             total = self._paths[pred][0][0] + weight
             if best_sink is None or total < best_sink[0]:
                 best_sink = (total, pred, 1)
-        assert best_sink is not None
+        if best_sink is None:
+            raise DesignError("the sink node has no predecessors; "
+                              "the sequence graph is malformed")
         self._paths[SINK] = [best_sink]
 
     def _edge_weight(self, pred: Node, node: Node) -> float:
         for successor, weight in self.graph.successors(pred):
             if successor == node:
                 return weight
-        raise ValueError(f"no edge {pred} -> {node}")
+        raise DesignError(f"no edge {pred} -> {node}")
 
     def _push(self, node: Node, cost: float, pred: Node,
               rank: int) -> None:

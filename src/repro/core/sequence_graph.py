@@ -22,6 +22,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from ..errors import DesignError
 from .costmatrix import CostMatrices
 
 #: Node identifiers in the explicit graph.
@@ -245,5 +246,5 @@ class SequenceGraph:
                     total += weight
                     break
             else:
-                raise ValueError(f"no edge {current} -> {nxt}")
+                raise DesignError(f"no edge {current} -> {nxt}")
         return total

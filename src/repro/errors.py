@@ -28,6 +28,28 @@ class StorageError(EngineError):
     """The storage layer was asked to do something impossible."""
 
 
+class TransientStorageError(StorageError):
+    """A page I/O failed in a way that may succeed if retried.
+
+    The fault-injection layer raises these for transient page faults;
+    the buffer manager and the transition machinery retry them under a
+    :class:`~repro.faults.retry.RetryPolicy`. ``retryable`` is always
+    True — it exists so callers can branch on the attribute instead of
+    the class.
+    """
+
+    retryable = True
+
+
+class PermanentStorageError(StorageError):
+    """A page I/O failed and will keep failing (a dead page/device).
+
+    Retrying is pointless; the enclosing operation must roll back.
+    """
+
+    retryable = False
+
+
 class TypeMismatchError(EngineError):
     """A value does not match the declared column type."""
 
@@ -36,16 +58,32 @@ class SqlError(EngineError):
     """Base class for SQL front-end errors."""
 
 
-class SqlSyntaxError(SqlError):
-    """The SQL text could not be parsed.
+class ParseError(SqlError):
+    """The SQL front end rejected the statement text.
 
     Attributes:
-        position: character offset into the SQL text where parsing failed.
+        statement: the full SQL text being parsed ("" when the failure
+            came from a bare tokenize call; :func:`repro.sqlengine.sql.
+            parser.parse` fills it in).
+        position: character offset into the SQL text where parsing
+            failed, or -1 when unknown.
     """
 
-    def __init__(self, message: str, position: int = -1):
+    def __init__(self, message: str, position: int = -1,
+                 statement: str = ""):
         super().__init__(message)
         self.position = position
+        self.statement = statement
+
+    def excerpt(self) -> str:
+        """The statement with a caret under the failure position."""
+        if not self.statement or self.position < 0:
+            return self.statement
+        return self.statement + "\n" + " " * self.position + "^"
+
+
+class SqlSyntaxError(ParseError):
+    """The SQL text could not be tokenized or parsed."""
 
 
 class SqlUnsupportedError(SqlError):
@@ -56,8 +94,50 @@ class PlanningError(EngineError):
     """No executable plan could be produced for a statement."""
 
 
+class EstimationUnavailable(EngineError):
+    """A what-if cost estimate could not be produced.
+
+    Raised when the fault injector times out or fails an estimation
+    call. The :class:`~repro.core.costservice.CostService` catches
+    these and degrades (stale epoch, then heap-scan upper bound); the
+    online tuner defers design changes while estimates are degraded.
+
+    Attributes:
+        retryable: True for transient failures (timeouts) where an
+            immediate retry may succeed.
+    """
+
+    def __init__(self, message: str, retryable: bool = False):
+        super().__init__(message)
+        self.retryable = retryable
+
+
 class DesignError(ReproError):
     """Base class for errors in the physical-design layer."""
+
+
+class TransitionError(DesignError):
+    """A physical-design transition (index/view build) failed.
+
+    Raised only after the catalog and buffer state have been rolled
+    back to exactly their pre-transition state, so the failure is
+    clean: nothing half-built survives.
+
+    Attributes:
+        structure: label of the structure whose build failed.
+        attempts: build attempts made (including retries) before
+            giving up.
+        report: a :class:`~repro.sqlengine.database.TransitionReport`
+            describing work completed *before* the failing structure
+            when raised from ``apply_configuration`` (None otherwise).
+    """
+
+    def __init__(self, message: str, structure: str = "",
+                 attempts: int = 1):
+        super().__init__(message)
+        self.structure = structure
+        self.attempts = attempts
+        self.report = None
 
 
 class InfeasibleProblemError(DesignError):

@@ -1,0 +1,32 @@
+"""Deterministic fault injection and recovery policies.
+
+Public surface:
+
+* :class:`FaultInjector` / :class:`FaultPlan` / :class:`FaultSpec` —
+  seeded, declarative fault injection (see :mod:`repro.faults.
+  injector` for the site table).
+* :class:`RetryPolicy` — bounded retries with exponential backoff in
+  simulated cost units.
+* :mod:`repro.faults.chaos` — the ``faultresilience`` verify-family
+  checks (imported lazily by the verify runner; it pulls in the whole
+  engine, so it is deliberately not imported here).
+"""
+
+from .injector import (PERMANENT, SITES, SLOW, TRANSIENT, FaultInjector,
+                       FaultPlan, FaultSpec, InjectionStats,
+                       random_fault_plan)
+from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectionStats",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "random_fault_plan",
+    "TRANSIENT",
+    "PERMANENT",
+    "SLOW",
+    "SITES",
+]

@@ -1,0 +1,50 @@
+"""Bounded-retry policy with deterministic simulated backoff.
+
+Real systems retry transient I/O failures with wall-clock exponential
+backoff. Here time is simulated — the whole repro's "execution time"
+is deterministic cost units — so backoff is charged in the same
+currency: each retry adds ``backoff_for(attempt)`` latency units to
+the buffer pool's :class:`~repro.sqlengine.buffer.IoMetrics`. Two runs
+with the same seed therefore retry, back off, and converge
+identically, bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to re-attempt a transient failure, and at what
+    simulated cost.
+
+    Attributes:
+        max_attempts: total attempts (first try included); the
+            operation fails permanently after this many.
+        backoff_units: latency units charged before the first retry.
+        backoff_multiplier: growth factor per further retry
+            (exponential backoff, expressed in cost units).
+    """
+
+    max_attempts: int = 4
+    backoff_units: float = 4.0
+    backoff_multiplier: float = 2.0
+
+    def backoff_for(self, attempt: int) -> float:
+        """Latency units charged before retry number ``attempt``
+        (1-based: the wait after the first failed attempt is
+        ``backoff_for(1) == backoff_units``)."""
+        if attempt < 1:
+            return 0.0
+        return self.backoff_units * \
+            self.backoff_multiplier ** (attempt - 1)
+
+    def total_backoff(self) -> float:
+        """Latency charged by a fully exhausted retry sequence."""
+        return sum(self.backoff_for(a)
+                   for a in range(1, self.max_attempts))
+
+
+#: The policy used when none is configured explicitly.
+DEFAULT_RETRY_POLICY = RetryPolicy()

@@ -234,11 +234,18 @@ class BPlusTree:
                 self._height -= 1
         return removed
 
-    def bulk_load(self, pairs: Iterable[KeyValue]) -> None:
+    def bulk_load(self, pairs: Iterable[KeyValue],
+                  fault_hook=None) -> None:
         """Replace the tree's contents by bottom-up loading sorted pairs.
 
         ``pairs`` must be sorted by key (duplicates allowed). This is
         how index builds work: sort once, then write full pages.
+
+        ``fault_hook`` (when given) is called once per leaf chunk; it
+        may raise to abort the load mid-way. The load is atomic either
+        way: the new tree is assembled off to the side and only
+        assigned at the end, so an aborted load leaves the existing
+        tree untouched.
         """
         pairs = [(normalize_key(k), v) for k, v in pairs]
         for (prev, _), (cur, _) in zip(pairs, pairs[1:]):
@@ -247,6 +254,8 @@ class BPlusTree:
         fill = max(2, int(self.order * 0.85))
         leaves: List[_Leaf] = []
         for start in range(0, len(pairs), fill):
+            if fault_hook is not None:
+                fault_hook()
             leaf = _Leaf()
             chunk = pairs[start:start + fill]
             leaf.keys = [k for k, _ in chunk]

@@ -13,7 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from ..errors import CatalogError, SqlUnsupportedError
+from ..errors import (CatalogError, SqlUnsupportedError, StorageError,
+                      TransientStorageError, TransitionError)
+from ..faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from .buffer import BufferManager, IoMetrics
 from .costmodel import CostParams, MeteredCost
 from .executor import Executor, QueryResult
@@ -76,17 +78,37 @@ class Database:
         params: cost-model weights shared by planner, executor and
             what-if optimizer.
         buffer_capacity_pages: buffer pool size.
+        fault_injector: optional
+            :class:`~repro.faults.injector.FaultInjector`; None
+            (default) keeps the fault machinery entirely out of the
+            hot paths.
+        retry_policy: how transient faults are retried (shared by the
+            buffer pool and the transition machinery).
     """
 
     def __init__(self, params: Optional[CostParams] = None,
-                 buffer_capacity_pages: int = 8192):
+                 buffer_capacity_pages: int = 8192,
+                 fault_injector=None,
+                 retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY):
         self.params = params or CostParams()
+        self.retry_policy = retry_policy
         self.buffer_manager = BufferManager(
-            capacity_pages=buffer_capacity_pages)
+            capacity_pages=buffer_capacity_pages,
+            fault_injector=fault_injector,
+            retry_policy=retry_policy)
         self.tables: Dict[str, HeapTable] = {}
         self.indexes_by_name: Dict[str, Index] = {}
         self.views_by_name: Dict[str, MaterializedView] = {}
         self._stats_cache: Dict[str, TableStats] = {}
+
+    @property
+    def fault_injector(self):
+        return self.buffer_manager.fault_injector
+
+    def set_fault_injector(self, injector) -> None:
+        """Attach (or with None, detach) a fault injector. All engine
+        fault sites read it through the shared buffer manager."""
+        self.buffer_manager.fault_injector = injector
 
     # ------------------------------------------------------------------
     # DDL / loading
@@ -122,25 +144,86 @@ class Database:
         table = self.table(table_name)
         loaded = table.bulk_load(columns)
         self._stats_cache.pop(table_name, None)
-        for index in self.indexes_for(table_name):
+        failed: List[str] = []
+        for index in list(self.indexes_for(table_name)):
             # Rebuild rather than insert row-by-row: bulk loads after
             # index creation are rare and rebuild matches real engines'
             # fast-load paths.
-            index._build()
-        for view in self.views_for(table_name):
-            view._build()
+            try:
+                self._transition(index.definition.label, index._build)
+            except TransitionError:
+                # A stale index would silently return wrong rows;
+                # dropping it keeps the catalog consistent (the
+                # structure can be re-created once the fault clears).
+                self.drop_index(index.name)
+                failed.append(index.definition.label)
+        for view in list(self.views_for(table_name)):
+            try:
+                self._transition(view.definition.label, view._build)
+            except TransitionError:
+                self.drop_view(view.name)
+                failed.append(view.definition.label)
+        if failed:
+            raise TransitionError(
+                f"bulk load of {table_name!r} succeeded but rebuilding "
+                f"{', '.join(failed)} failed; the structures were "
+                f"dropped", structure=",".join(failed))
         return loaded
+
+    def _transition(self, label: str, build):
+        """Run a structure build atomically under fault injection.
+
+        With no injector attached this is a plain call — zero
+        overhead. With one attached, the buffer pool (cache contents,
+        object-id cursor, data-plane metrics) is checkpointed first;
+        a mid-build :class:`StorageError` rolls everything back to
+        exactly the checkpoint, transient failures are retried under
+        the retry policy (backoff charged as latency units), and
+        exhausted or permanent failures surface as
+        :class:`TransitionError` — always from the pre-build state.
+        """
+        injector = self.buffer_manager.fault_injector
+        if injector is None:
+            return build()
+        checkpoint = self.buffer_manager.save_state()
+        attempt = 1
+        while True:
+            try:
+                return build()
+            except StorageError as exc:
+                self.buffer_manager.restore_state(checkpoint)
+                self.buffer_manager.metrics.rollbacks += 1
+                retryable = isinstance(exc, TransientStorageError)
+                if not retryable or \
+                        attempt >= self.retry_policy.max_attempts:
+                    raise TransitionError(
+                        f"building {label} failed after {attempt} "
+                        f"attempt(s): {exc}", structure=label,
+                        attempts=attempt) from exc
+                self.buffer_manager.metrics.retries += 1
+                self.buffer_manager.metrics.latency_units += \
+                    self.retry_policy.backoff_for(attempt)
+                attempt += 1
 
     def create_index(self, definition: IndexDef,
                      name: Optional[str] = None) -> Index:
-        """Materialize an index (charges its build I/O)."""
+        """Materialize an index (charges its build I/O).
+
+        Atomic under faults: a build that cannot complete raises
+        :class:`TransitionError` with catalog and buffer state exactly
+        as before the call.
+        """
         table = self.table(definition.table)
         if self.find_index(definition) is not None:
             raise CatalogError(
                 f"index {definition.label} already exists")
-        index = Index(definition, table, self.buffer_manager, name)
-        if index.name in self.indexes_by_name:
-            raise CatalogError(f"index name {index.name!r} in use")
+        catalog_name = name or definition.default_name()
+        if catalog_name in self.indexes_by_name:
+            raise CatalogError(f"index name {catalog_name!r} in use")
+        index = self._transition(
+            definition.label,
+            lambda: Index(definition, table, self.buffer_manager,
+                          name))
         self.indexes_by_name[index.name] = index
         return index
 
@@ -152,15 +235,21 @@ class Database:
 
     def create_view(self, definition: ViewDef,
                     name: Optional[str] = None) -> MaterializedView:
-        """Materialize a projection view (charges its build I/O)."""
+        """Materialize a projection view (charges its build I/O).
+
+        Atomic under faults, like :meth:`create_index`.
+        """
         table = self.table(definition.table)
         if self.find_view(definition) is not None:
             raise CatalogError(
                 f"view {definition.label} already exists")
-        view = MaterializedView(definition, table,
-                                self.buffer_manager, name)
-        if view.name in self.views_by_name:
-            raise CatalogError(f"view name {view.name!r} in use")
+        catalog_name = name or definition.default_name()
+        if catalog_name in self.views_by_name:
+            raise CatalogError(f"view name {catalog_name!r} in use")
+        view = self._transition(
+            definition.label,
+            lambda: MaterializedView(definition, table,
+                                     self.buffer_manager, name))
         self.views_by_name[view.name] = view
         return view
 
@@ -341,10 +430,16 @@ class Database:
     # ------------------------------------------------------------------
 
     def what_if(self) -> WhatIfOptimizer:
-        """A what-if optimizer snapshotting current schemas and stats."""
+        """A what-if optimizer snapshotting current schemas and stats.
+
+        Inherits the database's fault injector (if any), so estimate
+        faults fire for what-if consumers too.
+        """
         schemas = {name: t.schema for name, t in self.tables.items()}
         stats = {name: self.stats(name) for name in self.tables}
-        return WhatIfOptimizer(schemas, stats, self.params)
+        return WhatIfOptimizer(
+            schemas, stats, self.params,
+            fault_injector=self.buffer_manager.fault_injector)
 
     def estimate(self, statement: Union[str, Statement],
                  config: Iterable[IndexDef]) -> PlanEstimate:
@@ -368,11 +463,17 @@ class Database:
                                  key=structure_sort_key):
             if isinstance(definition, ViewDef):
                 view = self.find_view(definition)
-                assert view is not None
+                if view is None:
+                    raise CatalogError(
+                        f"view {definition.label} vanished while "
+                        f"applying a configuration")
                 self.drop_view(view.name)
             else:
                 index = self.find_index(definition)
-                assert index is not None
+                if index is None:
+                    raise CatalogError(
+                        f"index {definition.label} vanished while "
+                        f"applying a configuration")
                 self.drop_index(index.name)
             dropped.append(definition)
             # Flat catalog-update charge in cost units, matching
@@ -381,15 +482,33 @@ class Database:
             drop_units += self.params.drop_index_cost
         for definition in sorted(target - current,
                                  key=structure_sort_key):
-            if isinstance(definition, ViewDef):
-                self.create_view(definition)
-            else:
-                self.create_index(definition)
+            try:
+                if isinstance(definition, ViewDef):
+                    self.create_view(definition)
+                else:
+                    self.create_index(definition)
+            except TransitionError as exc:
+                # Each structure is individually atomic: everything
+                # built before the failing one stands; the failing one
+                # left no trace. Attach the partial report so callers
+                # can account for the work that did happen.
+                exc.report = self._transition_report(
+                    created, dropped, before, drop_units)
+                raise
             created.append(definition)
+        return self._transition_report(created, dropped, before,
+                                       drop_units)
+
+    def _transition_report(self, created, dropped, before: IoMetrics,
+                           drop_units: float) -> TransitionReport:
         delta = self.buffer_manager.snapshot() - before
+        # Retry backoff / slow-I/O latency charges land on cpu_units:
+        # they are already expressed in cost units (zero when faults
+        # are off, so the fault-free metering is unchanged).
         metered = MeteredCost(
             page_reads=float(delta.logical_reads),
             page_writes=float(delta.physical_writes),
-            cpu_units=drop_units)
-        return TransitionReport(created=created, dropped=dropped,
+            cpu_units=drop_units + delta.latency_units)
+        return TransitionReport(created=list(created),
+                                dropped=list(dropped),
                                 metered=metered)

@@ -177,7 +177,24 @@ class Index:
 
         Charges the classic build cost: one full heap scan plus one
         sequential write of every index page.
+
+        Fault sites: the ``index_build`` hook fires at build entry and
+        once per leaf chunk of the bulk load; every page touch is also
+        a ``page_read``/``page_write`` site. A fault anywhere aborts
+        with the tree unassigned — atomicity (catalog, buffer,
+        metrics) is the caller's job via
+        :meth:`Database._transition`.
         """
+        injector = self.buffer_manager.fault_injector
+        fault_hook = None
+        if injector is not None:
+            label = self.definition.label
+
+            def fault_hook() -> None:
+                injector.on_build_step("index_build", label,
+                                       self.buffer_manager.metrics)
+
+            fault_hook()
         self.table.scan_pages()
         rids = self.table.live_rids()
         key_columns = [self.table.column_array(c)
@@ -191,7 +208,7 @@ class Index:
             for i in range(len(sorted_rids)):
                 key = tuple(_scalar(col[i]) for col in sorted_cols)
                 pairs.append((key, int(sorted_rids[i])))
-            self.tree.bulk_load(pairs)
+            self.tree.bulk_load(pairs, fault_hook=fault_hook)
             self._leaf_cols = dict(zip(self.definition.columns,
                                        sorted_cols))
             self._leaf_rids = sorted_rids.astype(np.int64)

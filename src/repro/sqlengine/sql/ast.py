@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple, Union
 
+from ...errors import SqlUnsupportedError
 from ..types import Value
 
 CompareOp = str  # one of: = != < <= > >=
@@ -29,7 +30,8 @@ class Comparison:
 
     def __post_init__(self) -> None:
         if self.op not in _OP_SPELLINGS:
-            raise ValueError(f"bad comparison operator {self.op!r}")
+            raise SqlUnsupportedError(
+                f"bad comparison operator {self.op!r}")
 
     def sql(self) -> str:
         return f"{self.column} {self.op} {_render_literal(self.value)}"
@@ -77,9 +79,11 @@ class Aggregate:
 
     def __post_init__(self) -> None:
         if self.func not in AGGREGATE_FUNCS:
-            raise ValueError(f"bad aggregate function {self.func!r}")
+            raise SqlUnsupportedError(
+                f"bad aggregate function {self.func!r}")
         if self.column is None and self.func != "COUNT":
-            raise ValueError(f"{self.func}(*) is not valid SQL")
+            raise SqlUnsupportedError(
+                f"{self.func}(*) is not valid SQL")
 
     def sql(self) -> str:
         return f"{self.func}({self.column or '*'})"

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from ...errors import SqlSyntaxError, SqlUnsupportedError
+from ...errors import ParseError, SqlSyntaxError, SqlUnsupportedError
 from ..types import Value
 from .ast import (AGGREGATE_FUNCS, Aggregate, Between, Comparison,
                   Conjunction, CreateIndexStmt, CreateTableStmt,
@@ -14,8 +14,21 @@ from .lexer import Token, tokenize
 
 
 def parse(sql: str) -> Statement:
-    """Parse one SQL statement (an optional trailing ``;`` is allowed)."""
-    return _Parser(sql).parse_statement()
+    """Parse one SQL statement (an optional trailing ``;`` is allowed).
+
+    Raises:
+        ParseError: on malformed SQL. The exception carries the full
+            statement text and the character offset of the offending
+            token (``exc.statement`` / ``exc.position``), and
+            ``exc.excerpt()`` renders a caret pointing at it.
+    """
+    try:
+        return _Parser(sql).parse_statement()
+    except ParseError as exc:
+        # Lexer and parser sites raise with a position only; the full
+        # statement is attached here, once, at the public entry point.
+        exc.statement = sql
+        raise
 
 
 class _Parser:

@@ -111,6 +111,10 @@ class HeapTable:
             arrays[column.name] = data
         if not length:
             return 0
+        injector = self.buffer_manager.fault_injector
+        if injector is not None:
+            injector.on_build_step("heap_load", self.schema.name,
+                                   self.buffer_manager.metrics)
         self._ensure_capacity(self._size + length)
         start, end = self._size, self._size + length
         for name, data in arrays.items():
@@ -118,7 +122,15 @@ class HeapTable:
         self._valid[start:end] = True
         self._size = end
         self._live += length
-        self._charge_write_pages(start, end)
+        try:
+            self._charge_write_pages(start, end)
+        except StorageError:
+            # Crash-safe load: a faulted page write un-appends the
+            # whole batch, so no half-loaded rows become visible.
+            self._valid[start:end] = False
+            self._size = start
+            self._live -= length
+            raise
         return length
 
     def insert_row(self, values: Dict[str, Value]) -> int:

@@ -125,7 +125,16 @@ class MaterializedView:
         self._build()
 
     def _build(self) -> None:
-        """Materialize: scan the base heap, write the view pages."""
+        """Materialize: scan the base heap, write the view pages.
+
+        The ``view_build`` fault site fires at entry; each page touch
+        is additionally a ``page_read``/``page_write`` site. Atomicity
+        on fault is the caller's job (:meth:`Database._transition`).
+        """
+        injector = self.buffer_manager.fault_injector
+        if injector is not None:
+            injector.on_build_step("view_build", self.definition.label,
+                                   self.buffer_manager.metrics)
         self.table.scan_pages()
         geometry = self.geometry()
         for page in range(geometry.n_pages):

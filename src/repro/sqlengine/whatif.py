@@ -32,7 +32,8 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 from ..errors import CatalogError, SqlUnsupportedError
 from .costmodel import (Cost, CostParams, ZERO_COST, cost_build_index,
-                        cost_build_view, cost_drop_index, cost_insert)
+                        cost_build_view, cost_drop_index,
+                        cost_full_scan, cost_insert, cost_sort)
 from .index import IndexDef, IndexGeometry, structure_sort_key
 from .plan import PlanNode
 from .views import ViewDef, ViewGeometry
@@ -98,10 +99,15 @@ class WhatIfOptimizer:
 
     def __init__(self, schemas: Mapping[str, TableSchema],
                  stats: Mapping[str, TableStats],
-                 params: Optional[CostParams] = None):
+                 params: Optional[CostParams] = None,
+                 fault_injector=None):
         self._schemas = dict(schemas)
         self._stats = dict(stats)
         self.params = params or CostParams()
+        #: Optional :class:`~repro.faults.injector.FaultInjector`;
+        #: when set, every estimate entry is an ``estimate`` fault
+        #: site (raising :class:`EstimationUnavailable`).
+        self.fault_injector = fault_injector
         self._geometry_cache: Dict[Tuple[IndexDef, int], IndexGeometry] = {}
         self._analyze_cache: Dict[SelectStmt, QueryInfo] = {}
         #: Bumped whenever statistics change; template keys computed
@@ -114,7 +120,16 @@ class WhatIfOptimizer:
 
     def estimate_statement(self, stmt: Statement,
                            config: Iterable[IndexDef]) -> PlanEstimate:
-        """Estimate the execution cost of ``stmt`` under ``config``."""
+        """Estimate the execution cost of ``stmt`` under ``config``.
+
+        Raises :class:`~repro.errors.EstimationUnavailable` when a
+        fault injector is attached and fires at the ``estimate`` site
+        (modelling what-if timeouts); callers degrade via
+        :meth:`scan_upper_bound`.
+        """
+        if self.fault_injector is not None:
+            self.fault_injector.on_estimate(
+                getattr(stmt, "table", None))
         config = frozenset(config)
         if isinstance(stmt, SelectStmt):
             return self._estimate_select(stmt, config)
@@ -259,6 +274,47 @@ class WhatIfOptimizer:
         return PlanEstimate(cost=cost, access_path=path,
                             units=cost.total(self.params),
                             plan=path.plan)
+
+    # ------------------------------------------------------------------
+    # degraded estimation
+    # ------------------------------------------------------------------
+
+    def scan_upper_bound(self, stmt: Statement,
+                         config: Iterable[IndexDef] = ()) -> float:
+        """A pessimistic cost bound computed from statistics alone.
+
+        The last rung of the degradation ladder: when real estimation
+        is unavailable, charge the statement as if no index helped —
+        a full heap scan (plus a full sort for ordered/grouped
+        queries, plus worst-case write maintenance for DML). Never
+        consults the fault injector and never underestimates the
+        planner's choice, so degraded consumers err toward caution.
+        """
+        stats = self._stats_for(
+            getattr(stmt, "table", None) or "")
+        if isinstance(stmt, SelectStmt):
+            cost = cost_full_scan(stats, self.params)
+            if stmt.order_by is not None or stmt.group_by is not None:
+                cost = cost + cost_sort(stats.nrows, self.params)
+            return cost.total(self.params)
+        n_indexes = sum(1 for d in frozenset(config)
+                        if d.table == stmt.table)
+        if isinstance(stmt, InsertStmt):
+            one = cost_insert(stats, n_indexes, self.params)
+            cost = Cost(one.page_reads * len(stmt.rows),
+                        one.page_writes * len(stmt.rows),
+                        one.cpu_units * len(stmt.rows))
+            return cost.total(self.params)
+        if isinstance(stmt, (UpdateStmt, DeleteStmt)):
+            # Worst case: every row qualifies and every structure is
+            # maintained.
+            cost = cost_full_scan(stats, self.params) + Cost(
+                page_writes=stats.nrows * (1.0 + n_indexes),
+                cpu_units=stats.nrows * self.params.cpu_tuple_cost *
+                (1 + n_indexes))
+            return cost.total(self.params)
+        raise SqlUnsupportedError(
+            f"no upper bound for {type(stmt).__name__}")
 
     # ------------------------------------------------------------------
     # TRANS and SIZE

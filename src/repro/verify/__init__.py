@@ -33,7 +33,7 @@ from .generators import (MatrixInstance, TraceInstance,
                          matrix_instances, random_matrix_instance,
                          random_trace_problem)
 from .report import (CheckFailure, CheckResult, VerificationReport)
-from .runner import run_verification
+from .runner import run_chaos, run_verification
 
 __all__ = [
     "DEFAULT_GROUND_TRUTH_BUDGETS",
@@ -44,5 +44,5 @@ __all__ = [
     "check_solver_equivalence",
     "matrix_instances", "random_matrix_instance",
     "random_trace_problem", "replay_ranking_failures",
-    "run_verification", "solver_agreement_failures",
+    "run_chaos", "run_verification", "solver_agreement_failures",
 ]

@@ -16,6 +16,10 @@ from typing import Callable, List
 
 import pytest
 
+from ..faults.chaos import (check_atomic_transitions,
+                            check_degradation,
+                            check_engine_convergence,
+                            check_recommendation_convergence)
 from .checks import (check_constrained_invariants, check_cost_service,
                      check_ground_truth, check_plan_identity,
                      check_solver_equivalence)
@@ -30,8 +34,10 @@ __all__ = [
     "verify_matrix_batch",
     # re-exported check families, so a conftest's ``import *`` gives
     # tests everything they need in one line
-    "check_constrained_invariants", "check_cost_service",
-    "check_ground_truth", "check_plan_identity",
+    "check_atomic_transitions", "check_constrained_invariants",
+    "check_cost_service", "check_degradation",
+    "check_engine_convergence", "check_ground_truth",
+    "check_plan_identity", "check_recommendation_convergence",
     "check_solver_equivalence",
 ]
 

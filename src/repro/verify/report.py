@@ -111,7 +111,10 @@ class VerificationReport:
                 return result
         raise KeyError(f"no check family {family!r} in this report")
 
-    def format(self) -> str:
+    def format(self, include_timing: bool = True) -> str:
+        """Human-readable summary; ``include_timing=False`` drops the
+        wall-time suffix so the output is bit-stable across runs
+        (``repro chaos`` prints it that way for diffable logs)."""
         width = max((len(r.family) for r in self.results), default=8)
         lines = ["verification report:"]
         for result in self.results:
@@ -120,9 +123,11 @@ class VerificationReport:
             lines.append(
                 f"  {result.family:<{width}}  {result.checks:>6} "
                 f"checks  {status:<10} {result.description}")
-        lines.append(
-            f"  total: {self.total_checks} checks, "
-            f"{len(self.failures)} failures, {self.seconds:.2f}s")
+        total = (f"  total: {self.total_checks} checks, "
+                 f"{len(self.failures)} failures")
+        if include_timing:
+            total += f", {self.seconds:.2f}s"
+        lines.append(total)
         shown = 0
         for failure in self.failures:
             if shown >= MAX_SHOWN_FAILURES:

@@ -80,3 +80,42 @@ def run_verification(seed: int = 0, instances: int = 50,
                  planidentity])
     report.seconds = time.perf_counter() - start
     return report
+
+
+def run_chaos(seed: int = 0, plans: int = 3,
+              quick: bool = False) -> VerificationReport:
+    """Run check family 6 (``faultresilience``).
+
+    Replays fixtures under injected fault plans: an exhaustive
+    atomicity sweep over every build step, engine metric-conservation
+    and row-convergence under ``plans`` randomized transient-only
+    plans, advisor bit-identity under transient estimate faults, and
+    graceful degradation under permanent estimate faults. Fully
+    deterministic in ``seed``.
+
+    Args:
+        seed: base seed; randomized plan i uses ``seed + i``.
+        plans: randomized transient-only fault plans for the engine
+            convergence check.
+        quick: stride the atomicity sweep and shrink the fixtures
+            (CI gate scale).
+    """
+    # Imported lazily: chaos pulls in the whole engine and the
+    # advisors, which families 1-5 callers should not pay for.
+    from ..faults import chaos
+    from ..faults.injector import random_fault_plan
+
+    start = time.perf_counter()
+    resilience = CheckResult("faultresilience",
+                             chaos.FAMILY_DESCRIPTION)
+    chaos.check_atomic_transitions(resilience, seed, quick=quick)
+    for p in range(plans):
+        chaos.check_engine_convergence(
+            resilience, seed + p, random_fault_plan(seed + p),
+            quick=quick)
+    chaos.check_recommendation_convergence(resilience, seed,
+                                           quick=quick)
+    chaos.check_degradation(resilience, seed, quick=quick)
+    report = VerificationReport(results=[resilience])
+    report.seconds = time.perf_counter() - start
+    return report

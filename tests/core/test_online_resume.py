@@ -1,0 +1,133 @@
+"""Reset/resume semantics of the online tuner: an interrupted run
+resumed with ``reset=False`` must reproduce one uninterrupted run
+exactly — decisions, costs, and the change count against budget k are
+never double-counted."""
+
+import pytest
+
+from repro.core import OnlineTuner
+from repro.core.structures import EMPTY_CONFIGURATION
+from repro.errors import EstimationUnavailable
+
+from .test_online import (A, B, make_provider, phase_cost,
+                          statements)
+
+
+def _tuner(stmts, boundary=None, cooldown=3):
+    n = len(stmts)
+    if boundary is None:
+        boundary = n // 2
+    provider = make_provider(
+        stmts, lambda i, c: phase_cost(i, c, boundary, n),
+        build_cost=5.0)
+    return OnlineTuner([A, B], provider, decay=0.95,
+                       build_factor=1.5, cooldown=cooldown)
+
+
+@pytest.mark.parametrize("split", [1, 7, 20, 39])
+def test_resumed_run_equals_uninterrupted_run(split):
+    stmts = statements(40)
+    whole = _tuner(stmts).run(stmts)
+
+    tuner = _tuner(stmts)
+    tuner.run(stmts[:split])
+    resumed = tuner.run(stmts[split:], reset=False)
+
+    assert resumed.design == whole.design
+    assert resumed.decisions == whole.decisions
+    assert resumed.total_cost == pytest.approx(whole.total_cost)
+    assert resumed.exec_cost == pytest.approx(whole.exec_cost)
+    assert resumed.trans_cost == pytest.approx(whole.trans_cost)
+
+
+def test_transitions_not_double_counted_on_resume():
+    stmts = statements(40)
+    whole = _tuner(stmts).run(stmts)
+    assert whole.change_count > 0  # the phase shift forces changes
+
+    tuner = _tuner(stmts)
+    first = tuner.run(stmts[:25])
+    resumed = tuner.run(stmts[25:], reset=False)
+    # The cumulative result reports each change exactly once and pays
+    # each transition exactly once.
+    assert resumed.change_count == whole.change_count
+    assert resumed.trans_cost == pytest.approx(whole.trans_cost)
+    assert first.change_count <= resumed.change_count
+
+
+def test_reset_forgets_everything():
+    stmts = statements(40)
+    tuner = _tuner(stmts)
+    first = tuner.run(stmts)
+    assert first.change_count > 0
+    tuner.reset()
+    assert tuner.current == EMPTY_CONFIGURATION
+    assert tuner._position == 0
+    assert tuner._deferrals == 0
+    assert all(v == 0.0 for v in tuner._benefit.values())
+    # A rerun from scratch reproduces the first run exactly.
+    second = tuner.run(stmts)
+    assert second.design == first.design
+    assert second.decisions == first.decisions
+    assert second.total_cost == pytest.approx(first.total_cost)
+
+
+def test_run_with_reset_true_discards_partial_state():
+    stmts = statements(40)
+    reference = _tuner(stmts).run(stmts)
+    tuner = _tuner(stmts)
+    tuner.run(stmts[:10])
+    # reset=True (the default) starts over; the partial run leaves
+    # no residue.
+    again = tuner.run(stmts)
+    assert again.design == reference.design
+    assert again.decisions == reference.decisions
+
+
+def test_cooldown_clock_survives_resume():
+    """A change made right before the interruption still throttles
+    the statements right after it."""
+    stmts = statements(30)
+    tuner = _tuner(stmts, boundary=15, cooldown=10)
+    whole = _tuner(stmts, boundary=15, cooldown=10).run(stmts)
+
+    tuner.run(stmts[:16])
+    resumed = tuner.run(stmts[16:], reset=False)
+    assert [d.statement_index for d in resumed.decisions] == \
+        [d.statement_index for d in whole.decisions]
+
+
+class _FlakyProvider:
+    """Wraps a provider; raises EstimationUnavailable on chosen
+    statement indices (segment.start)."""
+
+    def __init__(self, inner, bad_indices):
+        self.inner = inner
+        self.bad = set(bad_indices)
+
+    def exec_cost(self, segment, config):
+        if segment.start in self.bad:
+            raise EstimationUnavailable("injected", retryable=False)
+        return self.inner.exec_cost(segment, config)
+
+    def trans_cost(self, old, new):
+        return self.inner.trans_cost(old, new)
+
+    def size_bytes(self, config):
+        return 0
+
+
+def test_unavailable_estimates_defer_observation():
+    stmts = statements(40)
+    n = len(stmts)
+    inner = make_provider(
+        stmts, lambda i, c: phase_cost(i, c, n // 2, n),
+        build_cost=5.0)
+    flaky = _FlakyProvider(inner, bad_indices={3, 4, 5})
+    tuner = OnlineTuner([A, B], flaky, decay=0.95,
+                        build_factor=1.5, cooldown=3)
+    result = tuner.run(stmts)
+    assert result.deferrals == 3
+    # Deferred statements moved no evidence but the stream still
+    # produced a full-length design.
+    assert len(result.design.assignments) == len(stmts)

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.errors import DesignError
 from repro.core.sequence_graph import (SINK, SOURCE, SequenceGraph,
                                        solve_unconstrained,
                                        solve_unconstrained_reference)
@@ -106,7 +107,7 @@ class TestExplicitGraph:
             matrices.trans_matrix[1, 0])
 
     def test_invalid_path_edge_raises(self, graph):
-        with pytest.raises(ValueError):
+        with pytest.raises(DesignError):
             graph.path_cost([SOURCE, SINK])
 
     def test_shortest_path_through_graph_matches_dp(self, graph):

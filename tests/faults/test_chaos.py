@@ -1,0 +1,26 @@
+"""The ``faultresilience`` verify family end to end."""
+
+from repro.verify import run_chaos
+
+
+def test_run_chaos_quick_is_clean():
+    report = run_chaos(seed=0, plans=1, quick=True)
+    assert report.ok, report.format()
+    result = report.result_for("faultresilience")
+    assert result.checks > 100  # the atomicity sweep alone is dozens
+
+
+def test_run_chaos_deterministic_in_seed():
+    a = run_chaos(seed=3, plans=1, quick=True)
+    b = run_chaos(seed=3, plans=1, quick=True)
+    assert a.format(include_timing=False) == \
+        b.format(include_timing=False)
+    assert a.result_for("faultresilience").checks == \
+        b.result_for("faultresilience").checks
+
+
+def test_report_format_without_timing_is_stable():
+    report = run_chaos(seed=1, plans=1, quick=True)
+    text = report.format(include_timing=False)
+    assert "s\n" not in text.splitlines()[-1]
+    assert "checks" in text

@@ -1,0 +1,158 @@
+"""Unit tests for the fault injector itself."""
+
+import pytest
+
+from repro.errors import (EstimationUnavailable, PermanentStorageError,
+                          TransientStorageError)
+from repro.faults import (PERMANENT, SLOW, TRANSIENT, FaultInjector,
+                          FaultPlan, FaultSpec, random_fault_plan)
+from repro.sqlengine.buffer import IoMetrics
+
+
+def _drain(injector, n, key="p"):
+    """Call on_page_read n times, collecting raised fault kinds."""
+    outcomes = []
+    metrics = IoMetrics()
+    for _ in range(n):
+        try:
+            injector.on_page_read(key, metrics)
+            outcomes.append(None)
+        except TransientStorageError:
+            outcomes.append(TRANSIENT)
+        except PermanentStorageError:
+            outcomes.append(PERMANENT)
+    return outcomes, metrics
+
+
+class TestDeterminism:
+    def test_same_seed_same_faults(self):
+        plan = FaultPlan(
+            specs=(FaultSpec("page_read", TRANSIENT,
+                             probability=0.3),))
+        a, _ = _drain(FaultInjector(plan, seed=42), 200)
+        b, _ = _drain(FaultInjector(plan, seed=42), 200)
+        assert a == b
+        assert TRANSIENT in a
+
+    def test_different_seed_different_faults(self):
+        plan = FaultPlan(
+            specs=(FaultSpec("page_read", TRANSIENT,
+                             probability=0.3),))
+        a, _ = _drain(FaultInjector(plan, seed=1), 200)
+        b, _ = _drain(FaultInjector(plan, seed=2), 200)
+        assert a != b
+
+    def test_random_fault_plan_deterministic(self):
+        assert random_fault_plan(9) == random_fault_plan(9)
+        assert random_fault_plan(9) != random_fault_plan(10)
+
+    def test_random_fault_plan_transient_only(self):
+        for seed in range(10):
+            assert random_fault_plan(seed).transient_only
+
+
+class TestFiring:
+    def test_at_call_fires_exactly_once_at_that_call(self):
+        plan = FaultPlan.single_shot("page_read", 3)
+        injector = FaultInjector(plan, seed=0)
+        outcomes, _ = _drain(injector, 6, key="k")
+        # Call 3 raises permanent; the key is then dead, so every
+        # later touch of the same key re-raises.
+        assert outcomes == [None, None, None, PERMANENT, PERMANENT,
+                            PERMANENT]
+
+    def test_transient_duration_recovers(self):
+        plan = FaultPlan(
+            specs=(FaultSpec("page_read", TRANSIENT, at_call=1,
+                             duration=3, max_faults=1),))
+        injector = FaultInjector(plan, seed=0)
+        outcomes, _ = _drain(injector, 6)
+        assert outcomes == [None, TRANSIENT, TRANSIENT, TRANSIENT,
+                            None, None]
+
+    def test_permanent_key_stays_dead(self):
+        plan = FaultPlan.single_shot("page_read", 0)
+        injector = FaultInjector(plan, seed=0)
+        metrics = IoMetrics()
+        with pytest.raises(PermanentStorageError):
+            injector.on_page_read("a", metrics)
+        with pytest.raises(PermanentStorageError):
+            injector.on_page_read("a", metrics)
+        # Other keys are unaffected (max_faults=1 spent on "a").
+        injector.on_page_read("b", metrics)
+
+    def test_max_faults_caps_firings(self):
+        plan = FaultPlan(
+            specs=(FaultSpec("page_read", TRANSIENT,
+                             probability=1.0, max_faults=2),))
+        outcomes, _ = _drain(FaultInjector(plan, seed=0), 5)
+        assert outcomes.count(TRANSIENT) == 2
+
+    def test_slow_charges_latency_and_does_not_raise(self):
+        plan = FaultPlan(
+            specs=(FaultSpec("page_read", SLOW, probability=1.0,
+                             latency_units=2.5),))
+        outcomes, metrics = _drain(FaultInjector(plan, seed=0), 4)
+        assert outcomes == [None] * 4
+        assert metrics.latency_units == pytest.approx(10.0)
+        assert metrics.logical_reads == 0
+
+    def test_sites_are_independent(self):
+        plan = FaultPlan.single_shot("page_write", 0)
+        injector = FaultInjector(plan, seed=0)
+        metrics = IoMetrics()
+        injector.on_page_read("p", metrics)  # must not raise
+        with pytest.raises(PermanentStorageError):
+            injector.on_page_write("p", metrics)
+
+
+class TestEstimateSite:
+    def test_transient_estimate_maps_to_retryable(self):
+        plan = FaultPlan(
+            specs=(FaultSpec("estimate", TRANSIENT,
+                             probability=1.0, max_faults=1),))
+        injector = FaultInjector(plan, seed=0)
+        with pytest.raises(EstimationUnavailable) as info:
+            injector.on_estimate("q")
+        assert info.value.retryable
+
+    def test_permanent_estimate_maps_to_non_retryable(self):
+        plan = FaultPlan(
+            specs=(FaultSpec("estimate", PERMANENT,
+                             probability=1.0, max_faults=1),))
+        injector = FaultInjector(plan, seed=0)
+        with pytest.raises(EstimationUnavailable) as info:
+            injector.on_estimate("q")
+        assert not info.value.retryable
+
+
+class TestNoOpDefault:
+    def test_empty_plan_never_fires(self):
+        injector = FaultInjector(FaultPlan.none(), seed=0)
+        outcomes, metrics = _drain(injector, 100)
+        assert outcomes == [None] * 100
+        assert metrics == IoMetrics()
+        assert injector.stats.faults == 0
+        assert injector.stats.checks == 100
+
+    def test_stats_count_kinds(self):
+        plan = FaultPlan(
+            specs=(FaultSpec("page_read", TRANSIENT, at_call=0,
+                             max_faults=1),
+                   FaultSpec("page_read", SLOW, at_call=2,
+                             max_faults=1)))
+        injector = FaultInjector(plan, seed=0)
+        _drain(injector, 5)
+        assert injector.stats.transient == 1
+        assert injector.stats.slow == 1
+        assert injector.stats.permanent == 0
+
+
+class TestSpecValidation:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("warp_drive", TRANSIENT, probability=0.5)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("page_read", TRANSIENT, probability=1.5)

@@ -194,3 +194,17 @@ class TestTopLevel:
         with pytest.raises(SystemExit) as exc:
             main(["--version"])
         assert exc.value.code == 0
+
+
+class TestChaos:
+    def test_chaos_quick_exits_zero_and_is_diffable(self, capsys):
+        assert main(["chaos", "--quick", "--plans", "1",
+                     "--seed", "2"]) == 0
+        first = capsys.readouterr().out
+        assert "faultresilience" in first
+        assert "0 failures" in first
+        # The printed report omits wall time, so a rerun on the same
+        # seed is byte-identical.
+        assert main(["chaos", "--quick", "--plans", "1",
+                     "--seed", "2"]) == 0
+        assert capsys.readouterr().out == first

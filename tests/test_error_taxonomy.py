@@ -1,0 +1,68 @@
+"""Lint-style sweep: ``repro.core`` and ``repro.sqlengine`` raise the
+typed exception taxonomy from :mod:`repro.errors`, never bare builtin
+exceptions, and never rely on ``assert`` for runtime invariants
+(asserts vanish under ``python -O``)."""
+
+import re
+from pathlib import Path
+
+import repro
+
+SRC = Path(repro.__file__).parent
+SWEPT_PACKAGES = ("core", "sqlengine")
+
+#: Builtin exception raises disallowed in swept packages. Control-flow
+#: exceptions (StopIteration), abstract-method guards
+#: (NotImplementedError), and typed repro errors are all fine.
+BARE_RAISE = re.compile(
+    r"^\s*raise\s+(Exception|ValueError|TypeError|RuntimeError|"
+    r"KeyError|AssertionError)\b")
+ASSERT_STMT = re.compile(r"^\s*assert\s")
+
+
+def _swept_files():
+    for package in SWEPT_PACKAGES:
+        yield from sorted((SRC / package).rglob("*.py"))
+
+
+def _offenders(pattern):
+    found = []
+    for path in _swept_files():
+        for lineno, line in enumerate(
+                path.read_text().splitlines(), start=1):
+            if pattern.match(line):
+                found.append(
+                    f"{path.relative_to(SRC)}:{lineno}: "
+                    f"{line.strip()}")
+    return found
+
+
+def test_sweep_covers_real_files():
+    files = list(_swept_files())
+    assert len(files) > 20, "sweep found suspiciously few files"
+
+
+def test_no_bare_builtin_raises():
+    offenders = _offenders(BARE_RAISE)
+    assert not offenders, (
+        "bare builtin exceptions in swept packages (use the typed "
+        "taxonomy in repro.errors):\n" + "\n".join(offenders))
+
+
+def test_no_assert_statements():
+    offenders = _offenders(ASSERT_STMT)
+    assert not offenders, (
+        "assert used for runtime invariants in swept packages "
+        "(raises are optimized away under -O; raise a typed error "
+        "instead):\n" + "\n".join(offenders))
+
+
+def test_taxonomy_roots():
+    """Every public error type derives from ReproError, so callers
+    can catch the whole taxonomy in one clause."""
+    from repro import errors
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception) and \
+                obj.__module__ == "repro.errors":
+            assert issubclass(obj, errors.ReproError), name
