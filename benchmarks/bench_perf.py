@@ -1,0 +1,74 @@
+"""Costing-pipeline performance: decomposition and parallel builds.
+
+Measures EXEC/TRANS matrix construction over the Table 1 mixes with
+the enriched candidate space (six paper indexes + two views, 37
+configurations) in three legs — undecomposed, signature-decomposed,
+and process-pool parallel — and asserts the decomposition contract:
+bit-identical matrices with a >= 3x reduction in what-if calls.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.perf import (build_perf_database, build_perf_problems,
+                              run_perf)
+from repro.core.costmatrix import build_cost_matrices
+from repro.core.costservice import CostService
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+NROWS = _env_int("REPRO_BENCH_NROWS", 100_000)
+BLOCK = _env_int("REPRO_BENCH_BLOCK", 100)
+
+
+@pytest.fixture(scope="module")
+def perf_db():
+    return build_perf_database(NROWS, seed=0)
+
+
+@pytest.fixture(scope="module")
+def perf_problems(perf_db):
+    return build_perf_problems(perf_db, BLOCK, seed=0)
+
+
+def test_perf_report(capsys):
+    report = run_perf(nrows=NROWS, block_size=BLOCK, seed=0, workers=2)
+    with capsys.disabled():
+        print("\n" + report.format() + "\n")
+    assert report.ok, report.failures
+    assert report.call_reduction >= 3.0, (
+        f"decomposition only cut what-if calls by "
+        f"{report.call_reduction:.2f}x (need >= 3x)")
+    assert report.parallel_speedup > 0.0  # the ratio is recorded
+
+
+def _build_all(service, problems):
+    return {mix: build_cost_matrices(problem, service)
+            for mix, problem in problems.items()}
+
+
+def test_bench_matrices_undecomposed(benchmark, perf_db,
+                                     perf_problems):
+    def build():
+        return _build_all(
+            CostService(perf_db.what_if(), decompose=False),
+            perf_problems)
+
+    matrices = benchmark(build)
+    assert set(matrices) == set(perf_problems)
+
+
+def test_bench_matrices_decomposed(benchmark, perf_db, perf_problems):
+    def build():
+        return _build_all(CostService(perf_db.what_if()),
+                          perf_problems)
+
+    matrices = benchmark(build)
+    assert set(matrices) == set(perf_problems)

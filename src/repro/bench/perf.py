@@ -1,0 +1,284 @@
+"""Costing-performance benchmark: the repo's benchmark trajectory.
+
+``run_perf`` measures what the atomic cost decomposition and the
+parallel matrix builds actually buy on the paper's Table 1 workload
+mixes (W1-W3 over the Section 6.1 table), against a candidate space
+rich enough to exercise signature sharing: the six paper indexes plus
+two projection views, all configurations of at most two structures
+(37 configurations).
+
+Three legs build the full EXEC/TRANS matrices for every mix through
+one :class:`~repro.core.costservice.CostService` session each:
+
+* ``undecomposed`` — ``CostService(decompose=False)``: the PR-1
+  baseline, one what-if estimate per (template, configuration).
+* ``decomposed`` — the default service: one estimate per (template,
+  relevance signature).
+* ``parallel`` — decomposition plus ``n_workers`` process-pool
+  fan-out.
+
+The report records wall time, what-if calls, signature/template cache
+hit rates, the call-reduction ratio, and the serial-vs-parallel
+wall-time ratio — and *verifies* along the way that all three legs
+produce bit-identical matrices (any mismatch, or a decomposition that
+saves zero calls, is a failure that flips the CLI exit code).
+
+``repro perf`` drives this and writes ``BENCH_PERF.json``;
+``benchmarks/bench_perf.py`` wraps the same entry points under
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.costmatrix import CostMatrices, build_cost_matrices
+from ..core.costservice import CostService
+from ..core.problem import ProblemInstance, enumerate_configurations
+from ..core.structures import EMPTY_CONFIGURATION
+from ..sqlengine.database import Database
+from ..sqlengine.views import ViewDef
+from ..workload.mixes import (PAPER_VALUE_RANGE, make_paper_workload,
+                              paper_generator)
+from ..workload.segmentation import segment_by_count
+from .experiments import paper_candidate_indexes
+
+#: Mixes measured (the Table 1 workloads).
+PERF_MIXES = ("W1", "W2", "W3")
+
+
+def perf_candidate_structures(table: str = "t") -> List:
+    """The benchmark's candidate space: the paper's six indexes plus
+    two projection views. Views share relevance signatures with the
+    composite indexes on the same columns, so the space exercises
+    both structure kinds in one signature."""
+    return list(paper_candidate_indexes(table)) + [
+        ViewDef(table, ("a", "b")), ViewDef(table, ("c", "d"))]
+
+
+@dataclass
+class PerfLeg:
+    """One measured matrix-build session (all mixes, one service)."""
+
+    name: str
+    wall_seconds: float
+    whatif_calls: int
+    whatif_calls_avoided: int
+    template_hits: int
+    signature_hits: int
+    signature_fills: int
+    unique_templates: int
+    unique_signatures: int
+    parallel_batches: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return dict(vars(self))
+
+
+@dataclass
+class PerfReport:
+    """Everything ``BENCH_PERF.json`` carries.
+
+    ``failures`` is non-empty iff decomposition changed a matrix
+    entry or saved zero what-if calls — the conditions CI gates on.
+    """
+
+    params: Dict[str, object]
+    legs: Dict[str, PerfLeg]
+    call_reduction: float
+    parallel_speedup: float
+    exec_cells: int
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "label": "costing-perf",
+            "params": self.params,
+            "legs": {name: leg.as_dict()
+                     for name, leg in self.legs.items()},
+            "exec_cells": self.exec_cells,
+            "call_reduction": self.call_reduction,
+            "parallel_speedup": self.parallel_speedup,
+            "failures": list(self.failures),
+            "ok": self.ok,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    def format(self) -> str:
+        lines = ["costing performance (Table 1 mixes, "
+                 f"{self.params['n_configs']} configurations, "
+                 f"{self.params['nrows']} rows)"]
+        for name in ("undecomposed", "decomposed", "parallel"):
+            leg = self.legs.get(name)
+            if leg is None:
+                continue
+            lines.append(
+                f"  {name:<12} {leg.wall_seconds * 1e3:9.1f} ms"
+                f"  what-if calls {leg.whatif_calls:5d}"
+                f"  avoided {leg.whatif_calls_avoided:6d}"
+                f"  signatures {leg.unique_signatures:4d}")
+        lines.append(
+            f"  call reduction (undecomposed/decomposed): "
+            f"{self.call_reduction:.2f}x")
+        if "parallel" in self.legs:
+            lines.append(
+                f"  parallel speedup (serial/parallel wall): "
+                f"{self.parallel_speedup:.2f}x")
+        if self.failures:
+            lines.append("  FAILURES:")
+            lines.extend(f"    - {failure}" for failure in self.failures)
+        else:
+            lines.append("  all legs bit-identical")
+        return "\n".join(lines)
+
+
+def build_perf_database(nrows: int, seed: int) -> Database:
+    """The Section 6.1 table at benchmark scale."""
+    db = Database()
+    db.create_table("t", [("a", "INTEGER"), ("b", "INTEGER"),
+                          ("c", "INTEGER"), ("d", "INTEGER")])
+    rng = np.random.default_rng(seed)
+    lo, hi = PAPER_VALUE_RANGE
+    db.bulk_load("t", {column: rng.integers(lo, hi, nrows)
+                       for column in ("a", "b", "c", "d")})
+    return db
+
+
+def build_perf_problems(db: Database, block_size: int, seed: int
+                        ) -> Dict[str, ProblemInstance]:
+    """One problem instance per Table 1 mix over the enriched
+    candidate space (indexes + views, at most two structures)."""
+    configurations = tuple(enumerate_configurations(
+        perf_candidate_structures(), max_indexes=2))
+    problems: Dict[str, ProblemInstance] = {}
+    for i, name in enumerate(PERF_MIXES):
+        generator = paper_generator(seed=seed + i + 1)
+        workload = make_paper_workload(name, generator,
+                                       block_size=block_size)
+        segments = tuple(segment_by_count(workload, block_size))
+        problems[name] = ProblemInstance(
+            segments=segments, configurations=configurations,
+            initial=EMPTY_CONFIGURATION, final=EMPTY_CONFIGURATION)
+    return problems
+
+
+def _run_leg(name: str, db: Database,
+             problems: Dict[str, ProblemInstance],
+             decompose: bool, n_workers: Optional[int]
+             ) -> Tuple[PerfLeg, Dict[str, CostMatrices]]:
+    service = CostService(db.what_if(), decompose=decompose,
+                          n_workers=n_workers)
+    matrices: Dict[str, CostMatrices] = {}
+    start = time.perf_counter()
+    for mix, problem in problems.items():
+        matrices[mix] = build_cost_matrices(problem, service)
+    wall = time.perf_counter() - start
+    stats = service.stats
+    leg = PerfLeg(
+        name=name, wall_seconds=wall,
+        whatif_calls=stats.whatif_calls,
+        whatif_calls_avoided=stats.whatif_calls_avoided,
+        template_hits=stats.template_hits,
+        signature_hits=stats.signature_hits,
+        signature_fills=stats.signature_fills,
+        unique_templates=stats.unique_templates,
+        unique_signatures=stats.unique_signatures,
+        parallel_batches=stats.parallel_batches)
+    return leg, matrices
+
+
+def run_perf(nrows: int = 100_000, block_size: int = 100,
+             seed: int = 0, workers: int = 2,
+             quick: bool = False) -> PerfReport:
+    """Measure the three costing legs and cross-check bit-identity.
+
+    Args:
+        nrows / block_size / seed: scale parameters (same meaning as
+            the other benches).
+        workers: process-pool width for the parallel leg; ``0`` skips
+            the leg entirely.
+        quick: CI scale — shrinks the table and blocks so the whole
+            run stays in a few seconds.
+    """
+    if quick:
+        nrows = min(nrows, 10_000)
+        block_size = min(block_size, 40)
+    db = build_perf_database(nrows, seed)
+    problems = build_perf_problems(db, block_size, seed)
+
+    legs: Dict[str, PerfLeg] = {}
+    undecomposed, baseline = _run_leg(
+        "undecomposed", db, problems, decompose=False, n_workers=None)
+    legs["undecomposed"] = undecomposed
+    decomposed, decomposed_m = _run_leg(
+        "decomposed", db, problems, decompose=True, n_workers=None)
+    legs["decomposed"] = decomposed
+
+    failures: List[str] = []
+    for mix in problems:
+        if not np.array_equal(baseline[mix].exec_matrix,
+                              decomposed_m[mix].exec_matrix):
+            failures.append(
+                f"{mix}: decomposed EXEC matrix differs from "
+                f"undecomposed")
+        if not np.array_equal(baseline[mix].trans_matrix,
+                              decomposed_m[mix].trans_matrix):
+            failures.append(
+                f"{mix}: decomposed TRANS matrix differs from "
+                f"undecomposed")
+    if decomposed.whatif_calls >= undecomposed.whatif_calls:
+        failures.append(
+            "decomposition saved zero what-if calls "
+            f"({decomposed.whatif_calls} vs "
+            f"{undecomposed.whatif_calls})")
+
+    parallel_speedup = 0.0
+    if workers and workers > 1:
+        parallel, parallel_m = _run_leg(
+            "parallel", db, problems, decompose=True,
+            n_workers=workers)
+        legs["parallel"] = parallel
+        for mix in problems:
+            if not np.array_equal(decomposed_m[mix].exec_matrix,
+                                  parallel_m[mix].exec_matrix):
+                failures.append(
+                    f"{mix}: parallel EXEC matrix differs from "
+                    f"serial")
+        if parallel.whatif_calls != decomposed.whatif_calls:
+            failures.append(
+                "parallel leg issued a different call count "
+                f"({parallel.whatif_calls} vs "
+                f"{decomposed.whatif_calls})")
+        if parallel.wall_seconds > 0:
+            parallel_speedup = \
+                decomposed.wall_seconds / parallel.wall_seconds
+
+    some_problem = next(iter(problems.values()))
+    exec_cells = sum(
+        len(p.segments) * len(p.configurations)
+        for p in problems.values())
+    call_reduction = (
+        undecomposed.whatif_calls / decomposed.whatif_calls
+        if decomposed.whatif_calls else float("inf"))
+    params = {
+        "nrows": nrows, "block_size": block_size, "seed": seed,
+        "workers": workers, "quick": quick,
+        "mixes": list(problems),
+        "n_configs": len(some_problem.configurations),
+        "n_candidates": len(perf_candidate_structures()),
+    }
+    return PerfReport(params=params, legs=legs,
+                      call_reduction=call_reduction,
+                      parallel_speedup=parallel_speedup,
+                      exec_cells=exec_cells, failures=failures)

@@ -28,6 +28,12 @@ Commands:
   converge bit-identically to the fault-free run, and that permanent
   estimation faults degrade gracefully instead of crashing the
   advisors.
+* ``perf`` — the costing-performance benchmark: build the Table 1
+  mixes' EXEC/TRANS matrices undecomposed, decomposed (relevance
+  signatures), and in parallel; verify all legs bit-identical and
+  write ``BENCH_PERF.json`` (wall times, what-if call reduction,
+  cache hit counters, serial-vs-parallel speedup). Exits non-zero if
+  decomposition changes a matrix entry or saves zero calls.
 
 The CLI is self-contained: ``recommend`` infers the schema from the
 trace's queries and populates a synthetic table, so no database setup
@@ -208,6 +214,23 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="stride the atomicity sweep and shrink "
                             "the fixtures to CI scale")
     chaos.set_defaults(handler=_cmd_chaos)
+
+    perf = sub.add_parser(
+        "perf", help="benchmark the costing pipeline: undecomposed "
+                     "vs signature-decomposed vs parallel matrix "
+                     "builds on the Table 1 mixes; verifies "
+                     "bit-identity and writes BENCH_PERF.json")
+    perf.add_argument("--rows", type=int, default=100_000)
+    perf.add_argument("--block-size", type=int, default=100)
+    perf.add_argument("--seed", type=int, default=0)
+    perf.add_argument("--workers", type=int, default=2,
+                      help="process-pool width for the parallel leg "
+                           "(0 skips it; default 2)")
+    perf.add_argument("--quick", action="store_true",
+                      help="CI scale: shrink the table and blocks")
+    perf.add_argument("--out", default="BENCH_PERF.json",
+                      help="report path (default BENCH_PERF.json)")
+    perf.set_defaults(handler=_cmd_perf)
     return parser
 
 
@@ -450,6 +473,18 @@ def _cmd_chaos(args) -> int:
     # No timing suffix: the chaos report is deterministic in the
     # seed, so the printed output is diffable across runs.
     print(report.format(include_timing=False))
+    return 0 if report.ok else 1
+
+
+def _cmd_perf(args) -> int:
+    from .bench.perf import run_perf
+    report = run_perf(nrows=args.rows, block_size=args.block_size,
+                      seed=args.seed, workers=args.workers,
+                      quick=args.quick)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(report.to_json() + "\n")
+    print(report.format())
+    print(f"wrote {args.out}")
     return 0 if report.ok else 1
 
 

@@ -12,7 +12,10 @@ tests and replays.
 For the graph/DP algorithms the costs are materialized once into dense
 NumPy matrices (:class:`CostMatrices`): ``exec_matrix[i, j]`` is
 EXEC(segment i, config j) and ``trans_matrix[i, j]`` is
-TRANS(config i -> config j).
+TRANS(config i -> config j). :func:`build_cost_matrices` routes
+batch-capable providers through their batch API, where relevance-
+signature decomposition fills all columns sharing a signature from a
+single what-if estimate (see :mod:`repro.core.costservice`).
 """
 
 from __future__ import annotations
@@ -259,9 +262,14 @@ def build_cost_matrices(problem: ProblemInstance,
 
     Batch-capable providers (:class:`~repro.core.costservice.
     CostService`) fill both matrices through their deduplicating batch
-    API; plain providers fall back to the serial per-(segment, config)
-    loop. Both paths produce identical matrices — the batch path is
-    just cheaper in what-if calls.
+    API — with atomic cost decomposition enabled (the default), every
+    EXEC column sharing a statement template's relevance signature is
+    filled from one estimate, and ``CostService(n_workers=N)`` fans
+    the remaining estimates over a process pool. Plain providers fall
+    back to the serial per-(segment, config) loop. All paths produce
+    bit-identical matrices — batching, decomposition, and parallelism
+    only change how many what-if calls (and how much wall time) it
+    took to fill them.
     """
     configs = problem.configurations
     if supports_batching(provider):

@@ -17,22 +17,41 @@ cache. :class:`CostService` centralizes that work behind the
   default) the resulting matrices are bit-identical to the serial
   path's.
 
-* **a two-level cache** — L1 by ``(sql, configuration)`` (cheap exact
-  replays), L2 by ``(template key, configuration)`` (constants-blind).
-  One service shared across advisors, k-sweeps, and benches in a
-  session means identical matrices are never rebuilt from scratch.
+* **a three-level cache** — L1 by ``(sql, configuration)`` (cheap
+  exact replays), L2 by ``(template key, configuration)``
+  (constants-blind), L3 by ``(template key, relevance signature)``:
+  the what-if optimizer derives, per template, the subset of a
+  configuration's structures that can possibly affect its plan
+  (:meth:`~repro.sqlengine.whatif.WhatIfOptimizer.
+  relevance_signature`), and every configuration identical on that
+  subset shares one bit-identical estimate. This is the CoPhy-style
+  *atomic cost decomposition*: what-if work drops from
+  O(templates x |C|) to O(templates x relevant subsets).
+
+* **parallel matrix builds** — ``CostService(..., n_workers=N)``
+  fans the signature-level estimates of a batch out over a process
+  pool (default serial). Templates are partitioned across workers,
+  each worker rebuilds a replica optimizer from the engine's catalog
+  snapshot, and the merge is index-keyed — estimates are
+  deterministic functions of ``(template, config, stats)``, so the
+  parallel matrix is bit-identical to the serial one.
 
 * **instrumentation** — :class:`CostEstimationStats` counts what-if
-  calls issued vs avoided, per-level cache hits, batch sizes, and wall
-  time per phase. Advisors snapshot/delta these counters into
-  ``Recommendation.stats["costing"]``; the ``repro costs`` CLI
-  subcommand prints them per advisor run.
+  calls issued vs avoided, per-level cache hits (statement /
+  template / signature), batch sizes, and wall time per phase.
+  Advisors snapshot/delta these counters into
+  ``Recommendation.stats["costing"]``; the ``repro costs`` and
+  ``repro perf`` CLI subcommands print them.
 
 The serial per-segment summation order is preserved inside the batch
 expansion (a vectorized left-fold across configurations), so swapping
 a :class:`~repro.core.costmatrix.WhatIfCostProvider` for a
 :class:`CostService` never changes a single matrix entry — only how
-many optimizer calls it took to fill them.
+many optimizer calls it took to fill them. With a fault injector
+attached, decomposition and parallelism switch themselves off: the
+degradation ladder is keyed per (template, configuration) and the
+fault firing order is part of the chaos family's determinism
+contract.
 """
 
 from __future__ import annotations
@@ -63,6 +82,13 @@ class CostEstimationStats:
             optimizer call (any cache level, batch or scalar path).
         statement_hits: hits in the L1 ``(sql, config)`` cache.
         template_hits: hits in the L2 ``(template, config)`` cache.
+        signature_hits: hits in the L3 ``(template, signature)`` cache
+            — estimates reused across configurations that agree on the
+            template's relevant structure subset.
+        signature_fills: additional matrix cells filled from an
+            estimate issued for *another* configuration sharing the
+            signature within the same batch (in-batch sharing; the
+            cross-batch reuse shows up as ``signature_hits``).
         trans_calls / trans_cache_hits: TRANS estimates issued/served.
         size_calls / size_cache_hits: SIZE estimates issued/served.
         batch_calls: :meth:`CostService.exec_matrix` invocations.
@@ -71,6 +97,12 @@ class CostEstimationStats:
             (``batched_statements / batched_templates`` is the mean
             dedup factor).
         unique_templates: distinct templates seen so far.
+        unique_signatures: distinct ``(template, signature)`` pairs
+            seen so far — the true size of the decomposed estimation
+            space (compare against
+            ``unique_templates x configurations``).
+        parallel_batches: batches whose pending estimates were fanned
+            out over the process pool.
         exec_seconds / trans_seconds: wall time in EXEC / TRANS
             estimation (cache management included).
         estimate_faults: :class:`EstimationUnavailable` raised by the
@@ -90,6 +122,8 @@ class CostEstimationStats:
     whatif_calls_avoided: int = 0
     statement_hits: int = 0
     template_hits: int = 0
+    signature_hits: int = 0
+    signature_fills: int = 0
     trans_calls: int = 0
     trans_cache_hits: int = 0
     size_calls: int = 0
@@ -98,6 +132,8 @@ class CostEstimationStats:
     batched_statements: int = 0
     batched_templates: int = 0
     unique_templates: int = 0
+    unique_signatures: int = 0
+    parallel_batches: int = 0
     exec_seconds: float = 0.0
     trans_seconds: float = 0.0
     estimate_faults: int = 0
@@ -127,8 +163,9 @@ class CostEstimationStats:
         """Counter difference ``self - earlier`` (for metering a span)."""
         changes = {f.name: getattr(self, f.name) - getattr(earlier, f.name)
                    for f in fields(self)}
-        # A counter total, not a difference: templates known now.
+        # Counter totals, not differences: distinct keys known now.
         changes["unique_templates"] = self.unique_templates
+        changes["unique_signatures"] = self.unique_signatures
         return CostEstimationStats(**changes)
 
     def as_dict(self) -> Dict[str, object]:
@@ -156,14 +193,28 @@ class CostService:
             bit-identical to the unbatched path. A coarse resolution
             (e.g. ``1e-4``) trades exactness for more template sharing
             on range-heavy workloads.
+        decompose: enable the signature-level (L3) cache tier —
+            atomic cost decomposition. On by default; it is exact, so
+            the only reason to turn it off is differential testing
+            against the undecomposed path. Automatically suspended
+            while a fault injector is attached (see module docstring).
+        n_workers: fan pending batch estimates out over a process
+            pool of this size. ``None``/``1`` (default) stays serial.
+            Workers rebuild replica optimizers from the engine's
+            catalog snapshot and the merge is index-keyed, so the
+            resulting matrices are bit-identical to serial builds.
     """
 
     def __init__(self, optimizer: WhatIfOptimizer,
                  selectivity_resolution: Optional[float] = None,
-                 retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY):
+                 retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+                 decompose: bool = True,
+                 n_workers: Optional[int] = None):
         self.optimizer = optimizer
         self.selectivity_resolution = selectivity_resolution
         self.retry_policy = retry_policy
+        self.decompose = decompose
+        self.n_workers = n_workers
         self.stats = CostEstimationStats()
         self._stats_epoch = optimizer.stats_epoch
         self._template_by_sql: Dict[str, StatementTemplate] = {}
@@ -173,6 +224,14 @@ class CostService:
         self._trans_cache: Dict[Tuple[Configuration, Configuration],
                                 float] = {}
         self._size_cache: Dict[Configuration, int] = {}
+        # L3: atomic cost decomposition. _signature_units keys exact
+        # estimates by (template key, relevance signature);
+        # _signature_of memoizes the signature derivation per
+        # (template key, configuration).
+        self._signature_units: Dict[Tuple[Tuple, Tuple], float] = {}
+        self._signature_of: Dict[Tuple[Tuple, Configuration],
+                                 Tuple] = {}
+        self._signature_keys: set = set()
         # Degradation ladder state. _stale_units keeps the last known
         # exact value per (template, config) across epoch
         # invalidations — rung 2 of the ladder. _degraded_units pins
@@ -263,25 +322,32 @@ class CostService:
             n_statements += len(rows)
             segment_rows.append(np.asarray(rows, dtype=np.intp))
 
-        # One estimate per (template, configuration) not yet cached.
+        # One estimate per (template, configuration) not yet cached —
+        # or, with decomposition on, per (template, signature).
         calls_before = self.stats.whatif_calls
         degraded_cells: set = set()
         units = np.empty((len(templates), len(configs)),
                          dtype=np.float64)
-        for j, config in enumerate(configs):
-            for r, template in enumerate(templates):
-                key = (template.key, config)
-                value = self._template_units.get(key)
-                if value is None:
-                    value, degraded = self._issue_template(template,
-                                                           config)
-                    if degraded:
-                        degraded_cells.add((r, j))
+        if self._decomposing:
+            self._fill_decomposed(units, templates, configs)
+        else:
+            # Fault-injected path: the legacy config-outer loop. Its
+            # (template, config) issue order is part of the chaos
+            # family's determinism contract.
+            for j, config in enumerate(configs):
+                for r, template in enumerate(templates):
+                    key = (template.key, config)
+                    value = self._template_units.get(key)
+                    if value is None:
+                        value, degraded = self._issue_template(
+                            template, config)
+                        if degraded:
+                            degraded_cells.add((r, j))
+                        else:
+                            self._template_units[key] = value
                     else:
-                        self._template_units[key] = value
-                else:
-                    self.stats.template_hits += 1
-                units[r, j] = value
+                        self.stats.template_hits += 1
+                    units[r, j] = value
 
         # Warm the L1 cache so later scalar calls are dict lookups —
         # except from degraded cells, which never enter exact caches.
@@ -372,6 +438,9 @@ class CostService:
         self._trans_cache.clear()
         self._size_cache.clear()
         self._degraded_units.clear()
+        self._signature_units.clear()
+        self._signature_of.clear()
+        self._signature_keys.clear()
 
     # ------------------------------------------------------------------
     # internals
@@ -381,6 +450,29 @@ class CostService:
         if self.optimizer.stats_epoch != self._stats_epoch:
             self.invalidate()
             self._stats_epoch = self.optimizer.stats_epoch
+
+    @property
+    def _decomposing(self) -> bool:
+        # A fault injector keeps the undecomposed path: the
+        # degradation ladder is keyed per (template, config), and
+        # sharing estimates across configs would change which cells a
+        # fault lands on.
+        return self.decompose and self.optimizer.fault_injector is None
+
+    def _signature(self, template: StatementTemplate,
+                   config: Configuration) -> Tuple:
+        key = (template.key, config)
+        sig = self._signature_of.get(key)
+        if sig is None:
+            sig = self.optimizer.relevance_signature(
+                template, config.structures)
+            self._signature_of[key] = sig
+            pair = (template.key, sig)
+            if pair not in self._signature_keys:
+                self._signature_keys.add(pair)
+                self.stats.unique_signatures = len(
+                    self._signature_keys)
+        return sig
 
     def _template(self, statement) -> StatementTemplate:
         template = self._template_by_sql.get(statement.sql)
@@ -404,11 +496,24 @@ class CostService:
         l2_key = (template.key, config)
         units = self._template_units.get(l2_key)
         if units is None:
+            sig_key = None
+            if self._decomposing:
+                sig_key = (template.key,
+                           self._signature(template, config))
+                units = self._signature_units.get(sig_key)
+                if units is not None:
+                    self.stats.signature_hits += 1
+                    self.stats.whatif_calls_avoided += 1
+                    self._template_units[l2_key] = units
+                    self._statement_units[l1_key] = units
+                    return units
             units, degraded = self._issue_template(template, config)
             if degraded:
                 # Degraded answers never enter the exact caches.
                 return units
             self._template_units[l2_key] = units
+            if sig_key is not None:
+                self._signature_units[sig_key] = units
         else:
             self.stats.template_hits += 1
             self.stats.whatif_calls_avoided += 1
@@ -456,3 +561,126 @@ class CostService:
                 template.representative, config.structures)
         self._degraded_units[key] = units
         return units, True
+
+    def _fill_decomposed(self, units: np.ndarray,
+                         templates: Sequence[StatementTemplate],
+                         configs: Sequence[Configuration]) -> None:
+        """Fill the (templates x configs) unit matrix through the
+        signature tier: one estimate per (template, relevant subset),
+        every configuration sharing the subset filled from it.
+
+        Cells neither in the L2 nor the L3 cache are accumulated as
+        *pending* work — one item per (template row, signature) —
+        and resolved serially or over the process pool, then written
+        to every column sharing the signature.
+        """
+        pending: Dict[Tuple[int, Tuple], List[int]] = {}
+        for r, template in enumerate(templates):
+            for j, config in enumerate(configs):
+                l2_key = (template.key, config)
+                value = self._template_units.get(l2_key)
+                if value is not None:
+                    self.stats.template_hits += 1
+                    units[r, j] = value
+                    continue
+                sig = self._signature(template, config)
+                value = self._signature_units.get((template.key, sig))
+                if value is not None:
+                    self.stats.signature_hits += 1
+                    self._template_units[l2_key] = value
+                    units[r, j] = value
+                    continue
+                pending.setdefault((r, sig), []).append(j)
+        if not pending:
+            return
+        items = list(pending.items())
+        values = self._resolve_pending(templates, configs, items)
+        for ((r, sig), cols), value in zip(items, values):
+            template = templates[r]
+            self._signature_units[(template.key, sig)] = value
+            self.stats.signature_fills += len(cols) - 1
+            for j in cols:
+                self._template_units[(template.key, configs[j])] = value
+                units[r, j] = value
+
+    def _resolve_pending(self, templates: Sequence[StatementTemplate],
+                         configs: Sequence[Configuration],
+                         items: Sequence[Tuple[Tuple[int, Tuple],
+                                               List[int]]]
+                         ) -> List[float]:
+        """One exact estimate per pending (template row, signature)
+        item, against the first configuration carrying the signature
+        (any sharer yields the same bits — that is the decomposition
+        invariant the verify harness checks)."""
+        if (self.n_workers and self.n_workers > 1 and len(items) > 1
+                and self.optimizer.fault_injector is None):
+            return self._parallel_pending(templates, configs, items)
+        values: List[float] = []
+        for (r, _sig), cols in items:
+            value, _degraded = self._issue_template(
+                templates[r], configs[cols[0]])
+            values.append(value)
+        return values
+
+    def _parallel_pending(self,
+                          templates: Sequence[StatementTemplate],
+                          configs: Sequence[Configuration],
+                          items: Sequence[Tuple[Tuple[int, Tuple],
+                                                List[int]]]
+                          ) -> List[float]:
+        """Fan pending estimates out over a process pool.
+
+        Work is partitioned by template row (all signatures of one
+        template go to the same worker, rows assigned round-robin in
+        first-appearance order), each worker builds a replica
+        optimizer from the engine's catalog snapshot, and results are
+        merged by item index — completion order never influences the
+        output, so the matrix is bit-identical to a serial build.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        n = min(self.n_workers, len(items))
+        chunks: List[List[Tuple[int, StatementTemplate, Tuple]]] = \
+            [[] for _ in range(n)]
+        row_worker: Dict[int, int] = {}
+        for index, ((r, _sig), cols) in enumerate(items):
+            worker = row_worker.get(r)
+            if worker is None:
+                worker = row_worker[r] = len(row_worker) % n
+            chunks[worker].append(
+                (index, templates[r], configs[cols[0]].structures))
+        values = [0.0] * len(items)
+        schemas, stats, params = self.optimizer.catalog_snapshot()
+        with ProcessPoolExecutor(
+                max_workers=n, initializer=_init_replica,
+                initargs=(schemas, stats, params)) as pool:
+            chunk_results = pool.map(
+                _estimate_chunk, [c for c in chunks if c])
+            for chunk_values in chunk_results:
+                for index, value in chunk_values:
+                    values[index] = value
+        self.stats.whatif_calls += len(items)
+        self.stats.parallel_batches += 1
+        return values
+
+
+# ----------------------------------------------------------------------
+# process-pool worker plumbing (module level so it pickles)
+# ----------------------------------------------------------------------
+
+_REPLICA: Optional[WhatIfOptimizer] = None
+
+
+def _init_replica(schemas, stats, params) -> None:
+    """Pool initializer: build this worker's replica optimizer from
+    the parent engine's catalog snapshot."""
+    global _REPLICA
+    _REPLICA = WhatIfOptimizer(schemas, stats, params)
+
+
+def _estimate_chunk(chunk):
+    """Estimate one worker's (index, template, structures) chunk;
+    returns (index, units) pairs for the index-keyed merge."""
+    return [(index, _REPLICA.estimate_template(template,
+                                               structures).units)
+            for index, template, structures in chunk]

@@ -93,7 +93,9 @@ def solve_constrained(matrices: CostMatrices, k: int,
 
     # Parent bookkeeping: for stage i, layer l, config c we record the
     # predecessor config (same layer and config when "stay").
-    parent_cfg = np.empty((n_seg, n_layers, n_cfg), dtype=np.int64)
+    # int32 halves the solver's dominant table; config indices are
+    # bounded by |C| < 2**31.
+    parent_cfg = np.empty((n_seg, n_layers, n_cfg), dtype=np.int32)
     parent_stay = np.zeros((n_seg, n_layers, n_cfg), dtype=bool)
     parent_cfg[0] = matrices.initial_index
     parent_stay[0] = False

@@ -53,16 +53,26 @@ def solve_unconstrained(matrices: CostMatrices) -> ShortestPathResult:
     ending with configuration c at segment i. The stage transition is
     ``dist' = min over p of dist[p] + trans[p, c] + exec[i, c]`` —
     one (|C| x |C|) matrix-broadcast per stage.
+
+    The (|C| x |C|) ``reach`` broadcast buffer is allocated once and
+    reused across stages (``np.add(..., out=reach)``); without the
+    ``out=`` the DP churned a fresh |C|^2 array per stage. The buffer
+    is laid out ``[c, p]`` so the parent argmin reduces over the
+    *last* axis — ``np.argmin(..., axis=0)`` on the ``[p, c]`` layout
+    silently copies the whole array per stage.
     """
     exec_matrix, trans = matrices.exec_matrix, matrices.trans_matrix
     n_seg, n_cfg = exec_matrix.shape
     parents = np.empty((n_seg, n_cfg), dtype=np.int64)
     dist = trans[matrices.initial_index] + exec_matrix[0]
     parents[0] = matrices.initial_index
+    reach = np.empty((n_cfg, n_cfg),
+                     dtype=np.result_type(trans, exec_matrix, dist))
+    cols = np.arange(n_cfg)
     for i in range(1, n_seg):
-        reach = dist[:, None] + trans          # reach[p, c]
-        best_parent = np.argmin(reach, axis=0)
-        dist = reach[best_parent, np.arange(n_cfg)] + exec_matrix[i]
+        np.add(trans.T, dist[None, :], out=reach)  # reach[c, p]
+        best_parent = np.argmin(reach, axis=1)
+        np.add(reach[cols, best_parent], exec_matrix[i], out=dist)
         parents[i] = best_parent
     if matrices.final_index is not None:
         dist = dist + trans[:, matrices.final_index]

@@ -7,7 +7,7 @@ and hashable so they can be graph nodes, matrix axes, and dict keys.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Iterator, Tuple
+from typing import FrozenSet, Iterable, Iterator, Optional, Tuple
 
 from ..sqlengine.index import IndexDef, structure_sort_key
 
@@ -23,7 +23,11 @@ class Configuration:
 
     def __init__(self, indexes: Iterable[IndexDef] = ()):
         self._indexes: FrozenSet[IndexDef] = frozenset(indexes)
-        self._hash = hash(self._indexes)
+        # Hash is memoized lazily: configurations are probed against
+        # the costing caches far more often than they are built, but
+        # enumeration also builds many configurations that are never
+        # hashed at all (space-bound rejects).
+        self._hash: Optional[int] = None
 
     # -- set-ish interface ------------------------------------------------
 
@@ -77,7 +81,10 @@ class Configuration:
                 other._indexes == self._indexes)
 
     def __hash__(self) -> int:
-        return self._hash
+        value = self._hash
+        if value is None:
+            value = self._hash = hash(self._indexes)
+        return value
 
     def __lt__(self, other: "Configuration") -> bool:
         return sorted(self._indexes, key=structure_sort_key) < \

@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import PlanningError, SchemaError, SqlUnsupportedError
 from .costmodel import Cost, CostParams
-from .index import IndexDef, IndexGeometry
+from .index import IndexDef, IndexGeometry, structure_sort_key
 from .plan import (Aggregate, FetchHeap, Filter, GroupAggregate, PlanNode,
                    Project, ScanHeap, ScanIndexLeaf, ScanView, SeekIndex,
                    Sort)
@@ -337,6 +337,53 @@ def choose_access_path(
         ) -> AccessPath:
     return enumerate_access_paths(info, stats, indexes, params,
                                   views)[0]
+
+
+# ----------------------------------------------------------------------
+# relevance extraction
+# ----------------------------------------------------------------------
+
+def structure_can_serve(info: QueryInfo, definition) -> bool:
+    """Whether a design structure can contribute *any* access path to
+    a query — the gate under which :func:`enumerate_access_paths`
+    would realize a plan for it.
+
+    This must stay the exact mirror of the enumeration rules above: an
+    index serves when it offers a seek (an equality prefix, or a range
+    on the column right after the prefix) or an index-only scan
+    (covering); a view serves when it covers every referenced column;
+    structures on other tables never serve. A structure that does not
+    serve adds no path, so its presence or absence cannot change the
+    chosen plan or its cost — that equivalence is what the what-if
+    layer's relevance signatures are built on.
+    """
+    if definition.table != info.table:
+        return False
+    if isinstance(definition, ViewDef):
+        return definition.covers(info.referenced_columns)
+    covering = definition.covers(info.referenced_columns)
+    prefix_len = 0
+    for column in definition.columns:
+        if column in info.eq_predicates:
+            prefix_len += 1
+        else:
+            break
+    uses_range = (prefix_len < len(definition.columns) and
+                  definition.columns[prefix_len] in
+                  info.range_predicates)
+    return prefix_len > 0 or uses_range or covering
+
+
+def relevant_structures(info: QueryInfo,
+                        structures) -> Tuple:
+    """The subset of ``structures`` that can affect ``info``'s plan,
+    as a canonical (sorted) tuple.
+
+    Two configurations with equal relevant subsets present the planner
+    with identical ``(definition, geometry)`` path candidates in
+    identical order, so they receive bit-identical plan estimates."""
+    return tuple(d for d in sorted(structures, key=structure_sort_key)
+                 if structure_can_serve(info, d))
 
 
 def _paths_for_index(info: QueryInfo, stats: TableStats,

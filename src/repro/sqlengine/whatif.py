@@ -38,7 +38,8 @@ from .index import IndexDef, IndexGeometry, structure_sort_key
 from .plan import PlanNode
 from .views import ViewDef, ViewGeometry
 from .planner import (AccessPath, QueryInfo, analyze_select,
-                      choose_access_path, total_selectivity)
+                      choose_access_path, relevant_structures,
+                      total_selectivity)
 from .schema import TableSchema
 from .sql.ast import (DeleteStmt, InsertStmt, SelectStmt, Statement,
                       UpdateStmt)
@@ -185,6 +186,61 @@ class WhatIfOptimizer:
         """Estimate one template's cost under ``config`` (by costing
         its representative statement)."""
         return self.estimate_statement(template.representative, config)
+
+    # ------------------------------------------------------------------
+    # relevance signatures (atomic cost decomposition)
+    # ------------------------------------------------------------------
+
+    def relevance_signature(self, template: StatementTemplate,
+                            config: Iterable[IndexDef]) -> Tuple:
+        """The part of ``config`` that can possibly affect the
+        template's estimate, as a hashable signature.
+
+        Contract: two configurations with equal signatures yield
+        **bit-identical** :meth:`estimate_template` results, because
+        the estimate reads only what the signature captures:
+
+        * SELECT — the sorted subset of structures that can serve the
+          statement (:func:`~repro.sqlengine.planner.
+          structure_can_serve`); non-serving structures contribute no
+          access path, so the planner's cheapest-path choice is a pure
+          function of this subset (plus statistics).
+        * INSERT — only the *count* of structures on the target table
+          enters the maintenance cost, so the signature is that count.
+        * UPDATE/DELETE — the serving subset of the SELECT-* probe
+          (row location) plus the on-table structure count (write
+          maintenance).
+
+        Signature-keyed caches therefore collapse the what-if work
+        from O(templates x |C|) to O(templates x relevant subsets)
+        without changing a single estimate.
+        """
+        stmt = template.representative
+        structures = frozenset(config)
+        if isinstance(stmt, SelectStmt):
+            info = self._analyze(stmt)
+            return ("select", relevant_structures(info, structures))
+        if isinstance(stmt, InsertStmt):
+            return ("insert", stmt.table,
+                    sum(1 for d in structures if d.table == stmt.table))
+        if isinstance(stmt, (UpdateStmt, DeleteStmt)):
+            schema = self._schema_for(stmt.table)
+            probe = SelectStmt(table=stmt.table,
+                               columns=tuple(schema.column_names),
+                               where=stmt.where)
+            info = self._analyze(probe)
+            return ("write", relevant_structures(info, structures),
+                    sum(1 for d in structures if d.table == stmt.table))
+        raise SqlUnsupportedError(
+            f"what-if costing does not support {type(stmt).__name__}")
+
+    def catalog_snapshot(self):
+        """``(schemas, stats, params)`` — everything a replica
+        optimizer needs. Parallel matrix builds ship this to worker
+        processes and rebuild a :class:`WhatIfOptimizer` there; the
+        replica is deterministic in the snapshot, so worker estimates
+        are bit-identical to this optimizer's."""
+        return dict(self._schemas), dict(self._stats), self.params
 
     def _select_signature(self, stmt: SelectStmt,
                           resolution: Optional[float]) -> Tuple:

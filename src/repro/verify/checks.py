@@ -286,6 +286,33 @@ def check_cost_service(instance: TraceInstance,
                 f"scalar trans_cost {units!r} != batch matrix entry "
                 f"{batch_trans[i, j]!r}")
 
+    # Atomic cost decomposition: the default (signature-keyed)
+    # service must reproduce the undecomposed path bit for bit while
+    # issuing strictly fewer what-if calls, and the process-pool
+    # parallel build must change nothing but the wall time.
+    undecomposed = CostService(optimizer, decompose=False)
+    undec_exec = undecomposed.exec_matrix(segments, configs)
+    result.check(
+        np.array_equal(undec_exec, batch_exec), label,
+        "decomposed EXEC matrix differs from the undecomposed "
+        "(decompose=False) path (max abs diff "
+        f"{np.max(np.abs(undec_exec - batch_exec))!r})")
+    decomposed = CostService(optimizer)
+    decomposed.exec_matrix(segments, configs)
+    result.check(
+        decomposed.stats.whatif_calls <
+        undecomposed.stats.whatif_calls, label,
+        "relevance-signature decomposition saved zero what-if calls "
+        f"({decomposed.stats.whatif_calls} vs "
+        f"{undecomposed.stats.whatif_calls} undecomposed)")
+    parallel = CostService(optimizer, n_workers=2)
+    parallel_exec = parallel.exec_matrix(segments, configs)
+    result.check(
+        np.array_equal(parallel_exec, batch_exec), label,
+        "parallel (n_workers=2) EXEC matrix differs from the serial "
+        "build (max abs diff "
+        f"{np.max(np.abs(parallel_exec - batch_exec))!r})")
+
     # Epoch invalidation: bumping the optimizer's stats epoch must
     # drop the caches (new what-if calls are issued) without changing
     # values when the stats themselves are unchanged.

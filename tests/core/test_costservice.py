@@ -219,7 +219,10 @@ class TestBatchCounters:
         assert stats.batch_calls == 1
         assert stats.batched_statements == n_statements
         assert stats.exec_requests == n_statements * n_configs
-        assert stats.whatif_calls == \
+        # Decomposition: one call per distinct (template, relevant
+        # subset), strictly fewer than templates x configurations.
+        assert stats.whatif_calls == stats.unique_signatures
+        assert stats.whatif_calls < \
             stats.unique_templates * n_configs
         assert stats.whatif_calls_avoided == \
             n_statements * n_configs - stats.whatif_calls
@@ -388,3 +391,98 @@ class TestStatsBookkeeping:
         service.invalidate()
         service.exec_cost(segment, EMPTY_CONFIGURATION)
         assert service.stats.whatif_calls == 2
+
+
+class TestDecomposition:
+    """Relevance-signature (L3) tier: fewer calls, identical bits."""
+
+    @pytest.mark.parametrize("name", ["W1", "W2", "W3"])
+    def test_bit_identical_to_undecomposed(self, small_db,
+                                           paper_candidates, name):
+        problem = _problem(name, paper_candidates)
+        undecomposed = CostService(small_db.what_if(),
+                                   decompose=False)
+        decomposed = CostService(small_db.what_if())
+        base = build_cost_matrices(problem, undecomposed)
+        dec = build_cost_matrices(problem, decomposed)
+        assert np.array_equal(base.exec_matrix, dec.exec_matrix)
+        assert np.array_equal(base.trans_matrix, dec.trans_matrix)
+        assert decomposed.stats.whatif_calls < \
+            undecomposed.stats.whatif_calls
+
+    def test_scalar_path_uses_signature_cache(self, small_db,
+                                              small_problem):
+        service = CostService(small_db.what_if())
+        segment = small_problem.segments[0]
+        a = Configuration({IndexDef("t", ("a",))})
+        padded = a.with_index(IndexDef("t", ("c", "d")))
+        service.exec_cost(segment, a)
+        calls = service.stats.whatif_calls
+        # Queries untouched by I(c,d) resolve from the signature
+        # tier; only templates I(c,d) can serve cost new calls.
+        service.exec_cost(segment, padded)
+        assert service.stats.signature_hits > 0
+        assert service.stats.whatif_calls - calls < \
+            service.stats.unique_templates
+
+    def test_invalidate_clears_signature_caches(self, small_db,
+                                                small_problem):
+        service = CostService(small_db.what_if())
+        service.exec_matrix(small_problem.segments,
+                            small_problem.configurations)
+        assert service._signature_units
+        service.invalidate()
+        assert not service._signature_units
+        assert not service._signature_of
+        calls = service.stats.whatif_calls
+        service.exec_matrix(small_problem.segments,
+                            small_problem.configurations)
+        assert service.stats.whatif_calls > calls
+
+    def test_fault_injector_disables_decomposition(self, small_db):
+        from repro.faults import FaultInjector, FaultPlan
+        injector = FaultInjector(FaultPlan(specs=()), seed=0)
+        optimizer = small_db.what_if()
+        optimizer.fault_injector = injector
+        service = CostService(optimizer)
+        assert service.decompose is True
+        assert service._decomposing is False
+        plain = CostService(small_db.what_if())
+        assert plain._decomposing is True
+
+
+class TestParallelBuilds:
+    @pytest.mark.parametrize("name", ["W1", "W2"])
+    def test_parallel_matrices_bit_identical(self, small_db,
+                                             paper_candidates, name):
+        problem = _problem(name, paper_candidates)
+        serial = CostService(small_db.what_if())
+        parallel = CostService(small_db.what_if(), n_workers=2)
+        serial_m = build_cost_matrices(problem, serial)
+        parallel_m = build_cost_matrices(problem, parallel)
+        assert np.array_equal(serial_m.exec_matrix,
+                              parallel_m.exec_matrix)
+        assert np.array_equal(serial_m.trans_matrix,
+                              parallel_m.trans_matrix)
+        assert parallel.stats.parallel_batches >= 1
+        assert parallel.stats.whatif_calls == \
+            serial.stats.whatif_calls
+
+    def test_single_worker_stays_serial(self, small_db,
+                                        small_problem):
+        service = CostService(small_db.what_if(), n_workers=1)
+        service.exec_matrix(small_problem.segments,
+                            small_problem.configurations)
+        assert service.stats.parallel_batches == 0
+
+    def test_warm_parallel_service_issues_nothing(self, small_db,
+                                                  small_problem):
+        service = CostService(small_db.what_if(), n_workers=2)
+        service.exec_matrix(small_problem.segments,
+                            small_problem.configurations)
+        batches = service.stats.parallel_batches
+        calls = service.stats.whatif_calls
+        service.exec_matrix(small_problem.segments,
+                            small_problem.configurations)
+        assert service.stats.parallel_batches == batches
+        assert service.stats.whatif_calls == calls

@@ -114,3 +114,29 @@ class TestCostAccounting:
         expected = min(matrices.trans_matrix[0, c] +
                        matrices.exec_matrix[0, c] for c in range(3))
         assert result.cost == pytest.approx(expected)
+
+
+class TestParentTableDtype:
+    def test_parent_table_is_int32(self):
+        """parent_cfg is the solver's dominant allocation
+        ((n_seg x layers x |C|)); int32 halves it and indices are
+        bounded by |C| < 2**31."""
+        import inspect
+
+        from repro.core import kaware
+
+        source = inspect.getsource(kaware.solve_constrained)
+        assert "int32" in source and "int64" not in source
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_int32_parents_match_reference(self, seed):
+        """The narrower parent table must not change any
+        reconstruction: assignment, cost, and change count all agree
+        with the pure-Python reference solver."""
+        matrices = random_matrices(n_seg=6, n_cfg=5, seed=seed)
+        for k in (0, 1, 2, 4):
+            fast = solve_constrained(matrices, k)
+            slow = solve_constrained_reference(matrices, k)
+            assert fast.assignment == slow.assignment, f"k={k}"
+            assert fast.cost == pytest.approx(slow.cost), f"k={k}"
+            assert fast.change_count == slow.change_count, f"k={k}"

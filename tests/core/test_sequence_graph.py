@@ -122,3 +122,29 @@ class TestExplicitGraph:
         best = min(graph.path_cost(p) for p in all_paths(SOURCE))
         assert solve_unconstrained(graph.matrices).cost == \
             pytest.approx(best)
+
+
+class TestAllocationBudget:
+    def test_reach_buffer_is_reused_across_stages(self):
+        """The (|C| x |C|) broadcast buffer is allocated once, not
+        per stage: peak traced allocation must stay near ONE reach
+        buffer (the pre-fix DP rebound a fresh one each stage,
+        peaking at two live buffers)."""
+        import tracemalloc
+
+        n_seg, n_cfg = 12, 400
+        matrices = random_matrices(n_seg=n_seg, n_cfg=n_cfg, seed=0)
+        solve_unconstrained(matrices)  # warm numpy / import caches
+        tracemalloc.start()
+        result = solve_unconstrained(matrices)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        reach_bytes = n_cfg * n_cfg * 8
+        parents_bytes = n_seg * n_cfg * 8
+        slack = 256 * 1024  # argmin/gather temporaries, bookkeeping
+        assert peak < parents_bytes + int(1.5 * reach_bytes) + slack, (
+            f"peak {peak} bytes suggests the reach buffer is being "
+            f"reallocated per stage (budget ~1x reach = {reach_bytes})")
+        # The buffer reuse must not perturb the optimum.
+        assert result.cost == pytest.approx(
+            solve_unconstrained_reference(matrices).cost)

@@ -72,3 +72,28 @@ class TestSingleIndexConfigurations:
         candidates = [IndexDef("t", (x,)) for x in "abcd"] + \
             [IndexDef("t", ("a", "b")), IndexDef("t", ("c", "d"))]
         assert len(single_index_configurations(candidates)) == 7
+
+
+class TestHashMemoization:
+    def test_hash_is_stable_and_cached(self):
+        config = Configuration({A, B})
+        first = hash(config)
+        assert hash(config) == first
+        assert config._hash == first  # memoized after first probe
+
+    def test_hash_lazy_until_probed(self):
+        assert Configuration({A})._hash is None
+
+    def test_equality_semantics_unchanged(self):
+        assert Configuration({A, B}) == Configuration({B, A})
+        assert hash(Configuration({A, B})) == \
+            hash(Configuration({B, A}))
+        assert Configuration({A}) != Configuration({B})
+        probed = Configuration({A, AB})
+        hash(probed)  # memoize one side only
+        assert probed == Configuration({AB, A})
+        assert len({probed, Configuration({A, AB})}) == 1
+
+    def test_memoized_hash_matches_frozenset(self):
+        config = Configuration({A, B})
+        assert hash(config) == hash(frozenset({A, B}))

@@ -139,3 +139,97 @@ class TestConsistencyWithExecution:
         finally:
             if created:
                 db.drop_index(db.find_index(A).name)
+
+
+class TestRelevanceSignatures:
+    """Atomic cost decomposition: the serving rules must mirror the
+    planner's access-path gating exactly."""
+
+    def _template(self, what_if, sql):
+        return what_if.statement_template(parse(sql))
+
+    def test_select_keeps_only_serving_structures(self, what_if):
+        from repro.sqlengine.views import ViewDef
+        template = self._template(
+            what_if, "SELECT a FROM t WHERE a = 5")
+        cd = IndexDef("t", ("c", "d"))
+        vcd = ViewDef("t", ("c", "d"))
+        kind, relevant = what_if.relevance_signature(
+            template, {A, AB, cd, vcd})
+        assert kind == "select"
+        assert set(relevant) == {A, AB}
+
+    def test_range_after_prefix_serves(self, what_if):
+        template = self._template(
+            what_if, "SELECT a FROM t WHERE a = 5 AND b > 10")
+        _, relevant = what_if.relevance_signature(template, {AB})
+        assert AB in relevant
+
+    def test_covering_view_serves(self, what_if):
+        from repro.sqlengine.views import ViewDef
+        template = self._template(
+            what_if, "SELECT a, b FROM t WHERE a = 5")
+        vab = ViewDef("t", ("a", "b"))
+        vcd = ViewDef("t", ("c", "d"))
+        _, relevant = what_if.relevance_signature(
+            template, {vab, vcd})
+        assert list(relevant) == [vab]
+
+    def test_other_table_never_serves(self, what_if):
+        template = self._template(
+            what_if, "SELECT a FROM t WHERE a = 5")
+        other = IndexDef("u", ("a",))
+        _, relevant = what_if.relevance_signature(template, {other})
+        assert relevant == ()
+
+    def test_insert_signature_is_on_table_count(self, what_if):
+        template = self._template(
+            what_if, "INSERT INTO t (a, b, c, d) VALUES (1, 2, 3, 4)")
+        other = IndexDef("u", ("a",))
+        sig = what_if.relevance_signature(template, {A, AB, other})
+        assert sig == ("insert", "t", 2)
+
+    def test_write_signature_probe_plus_count(self, what_if):
+        template = self._template(
+            what_if, "DELETE FROM t WHERE a = 5")
+        cd = IndexDef("t", ("c", "d"))
+        kind, relevant, on_table = what_if.relevance_signature(
+            template, {A, cd})
+        assert kind == "write"
+        assert A in relevant
+        assert on_table == 2
+
+    def test_equal_signature_equal_estimate(self, what_if):
+        from repro.sqlengine.views import ViewDef
+        template = self._template(
+            what_if, "SELECT a FROM t WHERE a = 5")
+        base = frozenset({A})
+        padded = frozenset({A, IndexDef("t", ("c", "d")),
+                            ViewDef("t", ("c", "d"))})
+        assert what_if.relevance_signature(template, base) == \
+            what_if.relevance_signature(template, padded)
+        assert what_if.estimate_template(template, base).units == \
+            what_if.estimate_template(template, padded).units
+
+    def test_signature_order_is_canonical(self, what_if):
+        """Iteration order of the input config never leaks into the
+        signature (it is sorted by structure_sort_key)."""
+        template = self._template(
+            what_if, "SELECT a, b FROM t WHERE a = 5 AND b = 6")
+        forward = what_if.relevance_signature(template, [A, B, AB])
+        backward = what_if.relevance_signature(template, [AB, B, A])
+        assert forward == backward
+
+
+class TestCatalogSnapshot:
+    def test_replica_estimates_bit_identical(self, what_if):
+        from repro.sqlengine.whatif import WhatIfOptimizer
+        schemas, stats, params = what_if.catalog_snapshot()
+        replica = WhatIfOptimizer(schemas, stats, params)
+        for sql in ("SELECT a FROM t WHERE a = 5",
+                    "SELECT c FROM t WHERE c BETWEEN 5 AND 500",
+                    "SELECT b FROM t"):
+            stmt = parse(sql)
+            for config in (frozenset(), {A}, {A, AB}):
+                assert replica.estimate_statement(stmt, config).units \
+                    == what_if.estimate_statement(stmt, config).units
