@@ -34,6 +34,19 @@ Commands:
   write ``BENCH_PERF.json`` (wall times, what-if call reduction,
   cache hit counters, serial-vs-parallel speedup). Exits non-zero if
   decomposition changes a matrix entry or saves zero calls.
+* ``scale`` — the summary-IR scaling benchmark: advise the same
+  multi-tenant workload at growing trace lengths (1M+ statements)
+  through the compressed workload-summary path and the legacy
+  materialize-and-segment path, verify the two formulations are
+  bit-identical, and write ``BENCH_SCALE.json`` (summarize vs advise
+  wall time per trace length). Exits non-zero if the formulations
+  disagree or summary-path advising fails to stay flat.
+
+``recommend`` and ``costs`` accept ``--summary`` to stream the trace
+through the workload summarizer in bounded memory — the advisor then
+works on per-phase ``(template, weight)`` atoms and never sees the
+raw statement list; the ``lp`` advisor solves the summarized problem
+by LP-relaxation + rounding with a certified optimality gap.
 
 The CLI is self-contained: ``recommend`` infers the schema from the
 trace's queries and populates a synthetic table, so no database setup
@@ -50,11 +63,11 @@ import numpy as np
 
 from . import __version__
 from .core.advisor import (ConstrainedGraphAdvisor, GreedySeqAdvisor,
-                           HybridAdvisor, MergingAdvisor,
+                           HybridAdvisor, LPAdvisor, MergingAdvisor,
                            UnconstrainedAdvisor)
 from .core.costmatrix import build_cost_matrices
 from .core.costservice import CostService
-from .core.problem import ProblemInstance
+from .core.problem import ProblemInstance, problem_from_summary
 from .core.structures import (EMPTY_CONFIGURATION,
                               single_index_configurations)
 from .errors import ReproError
@@ -62,15 +75,18 @@ from .sqlengine.database import Database
 from .sqlengine.index import IndexDef
 from .sqlengine.sql.ast import Between, SelectStmt
 from .sqlengine.views import ViewDef
-from .workload.analysis import detect_shifts
+from .workload.analysis import detect_shifts, detect_summary_shifts
 from .workload.mixes import make_paper_workload, paper_generator
-from .workload.model import Workload
+from .workload.model import Statement
 from .workload.segmentation import segment_by_count
-from .workload.trace import load_trace, save_trace
+from .workload.summary import atoms_of, summarize_statements
+from .workload.trace import (iter_trace, load_trace, save_trace,
+                             trace_name)
 
 _ADVISORS = {
     "kaware": lambda k: ConstrainedGraphAdvisor(
         k, count_initial_change=False),
+    "lp": lambda k: LPAdvisor(k, count_initial_change=False),
     "merging": lambda k: MergingAdvisor(k, count_initial_change=False),
     "hybrid": lambda k: HybridAdvisor(k, count_initial_change=False),
     "greedy-seq": lambda k: GreedySeqAdvisor(
@@ -129,6 +145,10 @@ def _build_parser() -> argparse.ArgumentParser:
     recommend.add_argument("--rows", type=int, default=100_000,
                            help="rows in the synthesized table")
     recommend.add_argument("--seed", type=int, default=0)
+    recommend.add_argument("--summary", action="store_true",
+                           help="stream the trace into a compressed "
+                                "workload summary (bounded memory) "
+                                "and advise on the atom formulation")
     recommend.set_defaults(handler=_cmd_recommend)
 
     costs = sub.add_parser(
@@ -149,6 +169,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             "matrices")
     costs.add_argument("--rows", type=int, default=100_000)
     costs.add_argument("--seed", type=int, default=0)
+    costs.add_argument("--summary", action="store_true",
+                       help="stream the trace into a compressed "
+                            "workload summary and cost the atom "
+                            "formulation")
     costs.set_defaults(handler=_cmd_costs)
 
     explain = sub.add_parser(
@@ -231,6 +255,31 @@ def _build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--out", default="BENCH_PERF.json",
                       help="report path (default BENCH_PERF.json)")
     perf.set_defaults(handler=_cmd_perf)
+
+    scale = sub.add_parser(
+        "scale", help="benchmark summary-IR advising against the "
+                      "legacy statement path at growing trace "
+                      "lengths (multi-tenant streaming traces); "
+                      "verifies summary/legacy bit-identity and "
+                      "writes BENCH_SCALE.json")
+    scale.add_argument("--sizes", default="10000,100000,1000000",
+                       help="comma-separated trace lengths "
+                            "(default 10000,100000,1000000)")
+    scale.add_argument("--phases", type=int, default=12,
+                       help="fixed phase count; block size scales "
+                            "with the trace (default 12)")
+    scale.add_argument("--k", type=int, default=3)
+    scale.add_argument("--rows", type=int, default=50_000)
+    scale.add_argument("--seed", type=int, default=0)
+    scale.add_argument("--tenants", type=int, default=4)
+    scale.add_argument("--legacy-max", type=int, default=None,
+                       help="skip the materializing legacy path "
+                            "above this trace length")
+    scale.add_argument("--quick", action="store_true",
+                       help="CI scale: two small sizes, small table")
+    scale.add_argument("--out", default="BENCH_SCALE.json",
+                       help="report path (default BENCH_SCALE.json)")
+    scale.set_defaults(handler=_cmd_scale)
     return parser
 
 
@@ -269,27 +318,73 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
-def _cmd_recommend(args) -> int:
-    workload = load_trace(args.trace)
-    db, table = _synthesize_database(workload, args.rows, args.seed)
+def _trace_problem(args, need_k: bool):
+    """Load ``args.trace`` raw or summarized (``--summary``).
+
+    Returns ``(pairs, k, make_problem)``: weighted statements for
+    schema/candidate inference, the resolved change budget (detected
+    when ``need_k`` and no ``--k`` was given), and a
+    ``make_problem(configurations, k)`` closure building the
+    segmented or summarized problem instance. On the summary path the
+    raw statement list is never materialized — the trace streams
+    through the summarizer in bounded memory.
+    """
     k = args.k
-    if k is None and args.advisor != "unconstrained":
-        k = detect_shifts(workload, args.block_size).suggested_k
-        print(f"no --k given; detected k = {k} from the trace's "
-              f"major shifts")
-    candidates = _candidate_indexes(workload, table)
+    if getattr(args, "summary", False):
+        summary = summarize_statements(
+            iter_trace(args.trace), args.block_size,
+            name=trace_name(args.trace))
+        print(f"summarized trace: {summary.n_statements} statements "
+              f"-> {summary.n_atoms} atoms in {summary.n_phases} "
+              f"phases ({summary.compression_ratio:.1f}x compression)")
+        pairs = [(statement, weight) for phase in summary.phases
+                 for statement, weight in atoms_of(phase)]
+        if k is None and need_k:
+            k = detect_summary_shifts(summary).suggested_k
+            print(f"no --k given; detected k = {k} from the "
+                  f"summary's major shifts")
+
+        def make_problem(configurations, k):
+            return problem_from_summary(
+                summary, configurations,
+                initial=EMPTY_CONFIGURATION, k=k,
+                final=EMPTY_CONFIGURATION)
+    else:
+        workload = load_trace(args.trace)
+        pairs = [(statement, 1) for statement in workload]
+        if k is None and need_k:
+            k = detect_shifts(workload, args.block_size).suggested_k
+            print(f"no --k given; detected k = {k} from the trace's "
+                  f"major shifts")
+
+        def make_problem(configurations, k):
+            return ProblemInstance(
+                segments=tuple(segment_by_count(workload,
+                                                args.block_size)),
+                configurations=configurations,
+                initial=EMPTY_CONFIGURATION, k=k,
+                final=EMPTY_CONFIGURATION)
+    return pairs, k, make_problem
+
+
+def _cmd_recommend(args) -> int:
+    pairs, k, make_problem = _trace_problem(
+        args, need_k=args.advisor != "unconstrained")
+    db, table = _synthesize_database(pairs, args.rows, args.seed)
+    candidates = _candidate_indexes(pairs, table)
     print(f"candidate indexes: "
           f"{', '.join(d.label for d in candidates)}")
-    problem = ProblemInstance(
-        segments=tuple(segment_by_count(workload, args.block_size)),
-        configurations=single_index_configurations(candidates),
-        initial=EMPTY_CONFIGURATION, k=k,
-        final=EMPTY_CONFIGURATION)
+    problem = make_problem(single_index_configurations(candidates), k)
     provider = CostService(db.what_if())
     advisor = _ADVISORS[args.advisor](k)
     recommendation = advisor.recommend(problem, provider)
     print(f"\n{recommendation.summary()}")
     print(recommendation.design.format_table())
+    if "gap" in recommendation.stats:
+        print(f"optimality: true optimum within "
+              f"[{recommendation.stats['lower_bound']:.1f}, "
+              f"{recommendation.cost:.1f}] "
+              f"(gap {recommendation.stats['gap']:.1f})")
     costing = recommendation.costing
     if costing is not None:
         print(f"costing: {costing['whatif_calls']} what-if calls "
@@ -300,19 +395,10 @@ def _cmd_recommend(args) -> int:
 
 
 def _cmd_costs(args) -> int:
-    workload = load_trace(args.trace)
-    db, table = _synthesize_database(workload, args.rows, args.seed)
-    k = args.k
-    if k is None:
-        k = detect_shifts(workload, args.block_size).suggested_k
-        print(f"no --k given; detected k = {k} from the trace's "
-              f"major shifts")
-    candidates = _candidate_indexes(workload, table)
-    problem = ProblemInstance(
-        segments=tuple(segment_by_count(workload, args.block_size)),
-        configurations=single_index_configurations(candidates),
-        initial=EMPTY_CONFIGURATION, k=k,
-        final=EMPTY_CONFIGURATION)
+    pairs, k, make_problem = _trace_problem(args, need_k=True)
+    db, table = _synthesize_database(pairs, args.rows, args.seed)
+    candidates = _candidate_indexes(pairs, table)
+    problem = make_problem(single_index_configurations(candidates), k)
     service = CostService(db.what_if())
 
     names = [name.strip() for name in args.advisors.split(",")
@@ -488,18 +574,35 @@ def _cmd_perf(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_scale(args) -> int:
+    from .bench.scale import run_scale
+    sizes = [int(size) for size in args.sizes.split(",")
+             if size.strip()]
+    report = run_scale(sizes=sizes, n_phases=args.phases, k=args.k,
+                       nrows=args.rows, seed=args.seed,
+                       n_tenants=args.tenants,
+                       legacy_max=args.legacy_max, quick=args.quick)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(report.to_json() + "\n")
+    print(report.format())
+    print(f"wrote {args.out}")
+    return 0 if report.ok else 1
+
+
 # ----------------------------------------------------------------------
 # trace -> synthetic database
 # ----------------------------------------------------------------------
 
-def _synthesize_database(workload: Workload, nrows: int,
-                         seed: int) -> Tuple[Database, str]:
+def _synthesize_database(
+        pairs: Sequence[Tuple[Statement, int]], nrows: int,
+        seed: int) -> Tuple[Database, str]:
     """Build a table matching the trace: its name, its integer
     columns, and uniform data spanning each column's observed
-    constants."""
+    constants. ``pairs`` are weighted statements — a raw trace with
+    unit weights, or the atoms of a workload summary."""
     table: Optional[str] = None
     spans: Dict[str, Tuple[int, int]] = {}
-    for statement in workload:
+    for statement, _weight in pairs:
         ast = statement.ast
         if not isinstance(ast, SelectStmt):
             continue
@@ -527,17 +630,19 @@ def _synthesize_database(workload: Workload, nrows: int,
     return db, table
 
 
-def _candidate_indexes(workload: Workload,
+def _candidate_indexes(pairs: Sequence[Tuple[Statement, int]],
                        table: str) -> List[IndexDef]:
     """Single-column indexes on every queried column, plus two-column
-    composites over the most-queried columns."""
+    composites over the most-queried columns (weighted by statement
+    multiplicity, so a summary ranks columns exactly as its raw trace
+    would)."""
     counts: Dict[str, int] = {}
-    for statement in workload:
+    for statement, weight in pairs:
         ast = statement.ast
         if isinstance(ast, SelectStmt) and ast.where is not None:
             for predicate in ast.where.predicates:
                 counts[predicate.column] = \
-                    counts.get(predicate.column, 0) + 1
+                    counts.get(predicate.column, 0) + weight
     columns = sorted(counts, key=lambda c: -counts[c])
     candidates = [IndexDef(table, (c,)) for c in sorted(columns)]
     top = columns[:4]

@@ -7,8 +7,9 @@ hybrid), and the advisor facade that wraps them uniformly.
 """
 
 from .advisor import (Advisor, ConstrainedGraphAdvisor, GreedySeqAdvisor,
-                      HybridAdvisor, MergingAdvisor, RankingAdvisor,
-                      Recommendation, StaticAdvisor, UnconstrainedAdvisor)
+                      HybridAdvisor, LPAdvisor, MergingAdvisor,
+                      RankingAdvisor, Recommendation, StaticAdvisor,
+                      UnconstrainedAdvisor)
 from .costmatrix import (CostMatrices, CostProvider, MatrixCostProvider,
                          WhatIfCostProvider, build_cost_matrices,
                          supports_batching)
@@ -21,9 +22,12 @@ from .kaware import (ConstrainedResult, solve_constrained,
                      solve_constrained_reference)
 from .ktuning import (KSweepResult, ValidatedKResult, knee_k, sweep_k,
                       validated_k)
+from .lp_advisor import LPResult, solve_lp_rounding
 from .merging import MergeStep, MergingResult, merge_to_k
 from .online import OnlineDecision, OnlineResult, OnlineTuner
-from .problem import ProblemInstance, enumerate_configurations
+from .problem import (ProblemInstance, SummaryProblemInstance,
+                      enumerate_configurations, problem_from_summary,
+                      summarize_problem)
 from .robustness import (RobustnessReport, VariantOutcome,
                          compare_robustness, evaluate_robustness)
 from .ranking import RankingResult, solve_by_ranking
@@ -35,7 +39,7 @@ from .structures import (Configuration, EMPTY_CONFIGURATION,
 
 __all__ = [
     "Advisor", "ConstrainedGraphAdvisor", "GreedySeqAdvisor",
-    "HybridAdvisor", "MergingAdvisor", "RankingAdvisor",
+    "HybridAdvisor", "LPAdvisor", "MergingAdvisor", "RankingAdvisor",
     "Recommendation", "StaticAdvisor", "UnconstrainedAdvisor",
     "CostEstimationStats", "CostMatrices", "CostProvider",
     "CostService", "MatrixCostProvider",
@@ -47,9 +51,12 @@ __all__ = [
     "solve_constrained_reference",
     "KSweepResult", "ValidatedKResult", "knee_k", "sweep_k",
     "validated_k",
+    "LPResult", "solve_lp_rounding",
     "MergeStep", "MergingResult", "merge_to_k",
     "OnlineDecision", "OnlineResult", "OnlineTuner",
-    "ProblemInstance", "enumerate_configurations",
+    "ProblemInstance", "SummaryProblemInstance",
+    "enumerate_configurations", "problem_from_summary",
+    "summarize_problem",
     "RobustnessReport", "VariantOutcome", "compare_robustness",
     "evaluate_robustness",
     "RankingResult", "solve_by_ranking",

@@ -1,11 +1,19 @@
 """Advisor facade: one interface over all design techniques.
 
-Every advisor consumes a :class:`ProblemInstance` plus a
+Every advisor consumes a problem instance plus a
 :class:`CostProvider` and returns a :class:`Recommendation` — the
 design sequence, its objective cost, change count, and advisor-specific
 statistics (runtime, paths examined, merge steps, ...). The harness
 reproducing the paper's figures drives everything through this
 interface, so techniques are trivially swappable and comparable.
+
+Advisors are formulation-agnostic: a segmented
+:class:`~repro.core.problem.ProblemInstance` and a compressed
+:class:`~repro.core.problem.SummaryProblemInstance` expose the same
+axis API and cost bit-identically, so any advisor accepts either. On
+summaries, matrix building scales with atoms instead of raw
+statements, and :class:`LPAdvisor` keeps the solve itself independent
+of the change budget as well.
 """
 
 from __future__ import annotations
@@ -23,8 +31,9 @@ from .design import DesignSequence, design_from_indices
 from .greedy_seq import reduce_problem
 from .hybrid import solve_hybrid
 from .kaware import solve_constrained
+from .lp_advisor import solve_lp_rounding
 from .merging import merge_to_k
-from .problem import ProblemInstance
+from .problem import AnyProblem, ProblemInstance
 from .ranking import solve_by_ranking
 from .sequence_graph import solve_unconstrained
 
@@ -85,7 +94,7 @@ class Advisor:
     def __init__(self, count_initial_change: bool = True):
         self.count_initial_change = count_initial_change
 
-    def recommend(self, problem: ProblemInstance,
+    def recommend(self, problem: AnyProblem,
                   provider: CostProvider,
                   matrices: Optional[CostMatrices] = None
                   ) -> Recommendation:
@@ -179,6 +188,37 @@ class ConstrainedGraphAdvisor(Advisor):
                                    self.count_initial_change)
         return (result.assignment, result.cost, result.change_count,
                 {"k": self.k, "layers_used": result.layers_used})
+
+
+class LPAdvisor(Advisor):
+    """Constrained designs via LP-relaxation + rounding — the
+    scalable alternative to the exact k-aware DP.
+
+    The solve is O(iterations x n x |C|^2) independent of k, and the
+    result carries a certified optimality interval:
+    ``stats["lower_bound"] <= optimum <= cost`` with
+    ``stats["gap"] = cost - lower_bound`` (zero when the relaxation
+    is tight). Intended for summarized problems where phases, not
+    statements, form the sequence axis; exact on any instance where
+    the unconstrained optimum already fits the budget.
+    """
+
+    name = "lp"
+
+    def __init__(self, k: int, count_initial_change: bool = True,
+                 max_iterations: int = 48):
+        super().__init__(count_initial_change)
+        self.k = k
+        self.max_iterations = max_iterations
+
+    def _solve(self, problem: AnyProblem, matrices: CostMatrices):
+        result = solve_lp_rounding(matrices, self.k,
+                                   self.count_initial_change,
+                                   max_iterations=self.max_iterations)
+        return (result.assignment, result.cost, result.change_count,
+                {"k": self.k, "lower_bound": result.lower_bound,
+                 "gap": result.gap, "iterations": result.iterations,
+                 "method": result.method})
 
 
 class MergingAdvisor(Advisor):

@@ -1,13 +1,21 @@
 """Cost providers and the EXEC/TRANS matrices driving the optimizers.
 
 All design algorithms consume costs through the :class:`CostProvider`
-protocol: ``exec_cost(segment, config)``, ``trans_cost(old, new)`` and
-``size_bytes(config)``. The primary implementation wraps the engine's
-what-if optimizer, whose estimates are produced by costing the same
-physical-plan IR (:mod:`repro.sqlengine.plan`) the executor runs — so
-every EXEC entry in these matrices is the estimate of a concrete,
-runnable operator tree. A matrix-backed provider supports synthetic
-tests and replays.
+protocol: ``exec_cost(unit, config)``, ``trans_cost(old, new)`` and
+``size_bytes(config)``. A costing *unit* is either a raw
+:class:`~repro.workload.segmentation.Segment` or a compressed
+:class:`~repro.workload.summary.PhaseSummary`; both reduce to
+``(statement, weight)`` atoms via :func:`~repro.workload.summary.
+atoms_of`, and EXEC is the canonical left-fold ``total += weight x
+unit_cost`` over those atoms in first-appearance order. Because the
+fold is defined on atoms, costing a summary is bit-identical to
+costing the raw statement list it compresses.
+
+The primary implementation wraps the engine's what-if optimizer,
+whose estimates are produced by costing the same physical-plan IR
+(:mod:`repro.sqlengine.plan`) the executor runs — so every EXEC entry
+in these matrices is the estimate of a concrete, runnable operator
+tree. A matrix-backed provider supports synthetic tests and replays.
 
 For the graph/DP algorithms the costs are materialized once into dense
 NumPy matrices (:class:`CostMatrices`): ``exec_matrix[i, j]`` is
@@ -28,6 +36,7 @@ import numpy as np
 from ..errors import DesignError
 from ..sqlengine.whatif import WhatIfOptimizer
 from ..workload.segmentation import Segment
+from ..workload.summary import CostUnit, atoms_of
 from .problem import ProblemInstance
 from .structures import Configuration
 
@@ -35,9 +44,10 @@ from .structures import Configuration
 class CostProvider(Protocol):
     """What the design algorithms need to know about costs."""
 
-    def exec_cost(self, segment: Segment,
+    def exec_cost(self, segment: CostUnit,
                   config: Configuration) -> float:
-        """EXEC: cost of executing the segment under the config."""
+        """EXEC: cost of executing the unit (segment or phase summary)
+        under the config."""
 
     def trans_cost(self, old: Configuration,
                    new: Configuration) -> float:
@@ -57,6 +67,11 @@ class WhatIfCostProvider:
     views included — so two configurations differing only in views
     never share an entry.
 
+    EXEC accumulates over the unit's atoms (``weight x unit_cost`` per
+    distinct SQL, first-appearance order — see
+    :func:`~repro.workload.summary.atoms_of`), so segments and the
+    phase summaries that compress them cost bit-identically.
+
     This is the minimal serial provider; prefer
     :class:`~repro.core.costservice.CostService` for anything that
     builds matrices or shares costing across advisors — it adds
@@ -71,17 +86,17 @@ class WhatIfCostProvider:
                                 float] = {}
         self._size_cache: Dict[Configuration, int] = {}
 
-    def exec_cost(self, segment: Segment,
+    def exec_cost(self, segment: CostUnit,
                   config: Configuration) -> float:
         total = 0.0
-        for statement in segment:
+        for statement, weight in atoms_of(segment):
             key = (statement.sql, config)
             units = self._exec_cache.get(key)
             if units is None:
                 units = self.optimizer.estimate_statement(
                     statement.ast, config.structures).units
                 self._exec_cache[key] = units
-            total += units
+            total += units * weight
         return total
 
     def trans_cost(self, old: Configuration,

@@ -43,15 +43,27 @@ cache. :class:`CostService` centralizes that work behind the
   ``Recommendation.stats["costing"]``; the ``repro costs`` and
   ``repro perf`` CLI subcommands print them.
 
-The serial per-segment summation order is preserved inside the batch
-expansion (a vectorized left-fold across configurations), so swapping
-a :class:`~repro.core.costmatrix.WhatIfCostProvider` for a
-:class:`CostService` never changes a single matrix entry — only how
-many optimizer calls it took to fill them. With a fault injector
-attached, decomposition and parallelism switch themselves off: the
-degradation ladder is keyed per (template, configuration) and the
-fault firing order is part of the chaos family's determinism
-contract.
+Costing units are either raw :class:`~repro.workload.segmentation.
+Segment` s or compressed :class:`~repro.workload.summary.PhaseSummary`
+phases; both reduce to ``(statement, weight)`` atoms
+(:func:`~repro.workload.summary.atoms_of`), and every EXEC path —
+scalar, batch, serial provider — accumulates the same canonical
+left-fold ``total += weight x unit_cost`` over atoms in
+first-appearance order. Swapping a :class:`~repro.core.costmatrix.
+WhatIfCostProvider` for a :class:`CostService`, or a raw trace for
+its summary, never changes a single matrix entry — only how many
+optimizer calls (and how much per-statement bookkeeping) it took to
+fill them. With a fault injector attached, decomposition and
+parallelism switch themselves off: the degradation ladder is keyed
+per (template, configuration) and the fault firing order is part of
+the chaos family's determinism contract.
+
+``CostService(n_workers=N)`` keeps one persistent process pool per
+service: created lazily on the first batch that needs it, reused
+across ``exec_matrix``/``trans_matrix`` calls (replica optimizers are
+built once per pool, not once per batch), torn down when the catalog
+changes (stats epoch bump / :meth:`CostService.invalidate`) and on
+:meth:`CostService.close`.
 """
 
 from __future__ import annotations
@@ -65,7 +77,7 @@ import numpy as np
 from ..errors import EstimationUnavailable
 from ..faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from ..sqlengine.whatif import StatementTemplate, WhatIfOptimizer
-from ..workload.segmentation import Segment
+from ..workload.summary import CostUnit, atoms_of
 from .costmatrix import CostMatrices
 from .problem import ProblemInstance
 from .structures import Configuration
@@ -203,6 +215,9 @@ class CostService:
             Workers rebuild replica optimizers from the engine's
             catalog snapshot and the merge is index-keyed, so the
             resulting matrices are bit-identical to serial builds.
+            The pool is created lazily and persists across batches;
+            call :meth:`close` (or use the service as a context
+            manager) to release it deterministically.
     """
 
     def __init__(self, optimizer: WhatIfOptimizer,
@@ -241,19 +256,48 @@ class CostService:
         self._stale_units: Dict[Tuple[Tuple, Configuration], float] = {}
         self._degraded_units: Dict[Tuple[Tuple, Configuration],
                                    float] = {}
+        # Persistent process pool (satellite of the summary-IR work):
+        # replicas are built once per pool lifetime, not per batch.
+        self._pool = None
+
+    def __enter__(self) -> "CostService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass  # interpreter shutdown: pool may already be gone
+
+    def close(self) -> None:
+        """Release the persistent worker pool (idempotent). The
+        service remains usable — the next parallel batch recreates
+        the pool."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     # ------------------------------------------------------------------
     # CostProvider protocol (scalar path)
     # ------------------------------------------------------------------
 
-    def exec_cost(self, segment: Segment,
+    def exec_cost(self, segment: CostUnit,
                   config: Configuration) -> float:
-        """EXEC(segment, config), summed in statement order."""
+        """EXEC(unit, config): the canonical weighted left-fold over
+        the unit's atoms (one estimate per distinct SQL)."""
         self._check_epoch()
         start = time.perf_counter()
         total = 0.0
-        for statement in segment:
-            total += self._statement_units_for(statement, config)
+        for statement, weight in atoms_of(segment):
+            units = self._statement_units_for(statement, config)
+            if weight > 1:
+                # Every statement beyond the representative is served
+                # from the atom's single estimate.
+                self.stats.whatif_calls_avoided += weight - 1
+            total += units * weight
         self.stats.exec_seconds += time.perf_counter() - start
         return total
 
@@ -289,26 +333,29 @@ class CostService:
     # batch API
     # ------------------------------------------------------------------
 
-    def exec_matrix(self, segments: Sequence[Segment],
+    def exec_matrix(self, segments: Sequence[CostUnit],
                     configs: Sequence[Configuration]) -> np.ndarray:
-        """The dense EXEC matrix ``(len(segments), len(configs))``.
+        """The dense EXEC matrix ``(len(units), len(configs))``.
 
-        Statements are deduplicated by template across the whole batch
-        first, each template is estimated once per configuration (cache
-        permitting), and the per-template costs are expanded back to
-        segments with NumPy — a gather plus a left-fold that preserves
-        the serial path's statement-order summation exactly.
+        Each unit (segment or phase summary) is reduced to its
+        ``(sql, weight)`` atoms, atoms are deduplicated by template
+        across the whole batch, each template is estimated once per
+        configuration (cache permitting), and the per-template costs
+        are expanded back to the unit axis — a weighted left-fold over
+        atoms in first-appearance order, matching the scalar and
+        serial-provider paths bit for bit. Work is proportional to
+        atoms x configurations, never raw statements.
         """
         self._check_epoch()
         start = time.perf_counter()
         templates: List[StatementTemplate] = []
         template_row: Dict[Tuple, int] = {}
         sql_row: Dict[str, int] = {}
-        segment_rows: List[np.ndarray] = []
+        unit_atoms: List[List[Tuple[int, int]]] = []
         n_statements = 0
         for segment in segments:
-            rows = []
-            for statement in segment:
+            pairs: List[Tuple[int, int]] = []
+            for statement, weight in atoms_of(segment):
                 row = sql_row.get(statement.sql)
                 if row is None:
                     template = self._template(statement)
@@ -318,9 +365,9 @@ class CostService:
                         template_row[template.key] = row
                         templates.append(template)
                     sql_row[statement.sql] = row
-                rows.append(row)
-            n_statements += len(rows)
-            segment_rows.append(np.asarray(rows, dtype=np.intp))
+                pairs.append((row, weight))
+                n_statements += weight
+            unit_atoms.append(pairs)
 
         # One estimate per (template, configuration) not yet cached —
         # or, with decomposition on, per (template, signature).
@@ -360,15 +407,15 @@ class CostService:
 
         matrix = np.zeros((len(segments), len(configs)),
                           dtype=np.float64)
-        for i, rows in enumerate(segment_rows):
-            if len(rows) == 0:
+        for i, pairs in enumerate(unit_atoms):
+            if not pairs:
                 continue
-            gathered = units[rows, :]
             total = np.zeros(len(configs), dtype=np.float64)
-            for statement_units in gathered:
-                # Left-fold, not np.sum: matches the serial provider's
-                # statement-order accumulation bit for bit.
-                total += statement_units
+            for row, weight in pairs:
+                # Left-fold of weight x unit-cost terms, not np.sum:
+                # matches the scalar paths' atom-order accumulation
+                # bit for bit.
+                total += units[row] * weight
             matrix[i] = total
 
         self.stats.batch_calls += 1
@@ -428,8 +475,11 @@ class CostService:
         The retiring exact template values are kept as the *stale
         epoch* — rung 2 of the degradation ladder — so estimation
         outages after a stats refresh degrade to the last known exact
-        answer instead of the crude upper bound.
+        answer instead of the crude upper bound. The worker pool is
+        torn down too: replicas were built from the retiring catalog
+        snapshot, so the next parallel batch rebuilds them fresh.
         """
+        self.close()
         self._stale_units.update(self._template_units)
         self._template_by_sql.clear()
         self._template_keys.clear()
@@ -628,17 +678,20 @@ class CostService:
                           items: Sequence[Tuple[Tuple[int, Tuple],
                                                 List[int]]]
                           ) -> List[float]:
-        """Fan pending estimates out over a process pool.
+        """Fan pending estimates out over the persistent process pool.
 
         Work is partitioned by template row (all signatures of one
         template go to the same worker, rows assigned round-robin in
-        first-appearance order), each worker builds a replica
-        optimizer from the engine's catalog snapshot, and results are
+        first-appearance order), each worker holds a replica optimizer
+        built from the engine's catalog snapshot, and results are
         merged by item index — completion order never influences the
         output, so the matrix is bit-identical to a serial build.
-        """
-        from concurrent.futures import ProcessPoolExecutor
 
+        The pool is created lazily on the first parallel batch and
+        reused for the service's lifetime (until :meth:`close` or a
+        catalog invalidation) — replica construction used to dominate
+        small batches when a fresh pool was spun up every call.
+        """
         n = min(self.n_workers, len(items))
         chunks: List[List[Tuple[int, StatementTemplate, Tuple]]] = \
             [[] for _ in range(n)]
@@ -650,18 +703,26 @@ class CostService:
             chunks[worker].append(
                 (index, templates[r], configs[cols[0]].structures))
         values = [0.0] * len(items)
-        schemas, stats, params = self.optimizer.catalog_snapshot()
-        with ProcessPoolExecutor(
-                max_workers=n, initializer=_init_replica,
-                initargs=(schemas, stats, params)) as pool:
-            chunk_results = pool.map(
-                _estimate_chunk, [c for c in chunks if c])
-            for chunk_values in chunk_results:
-                for index, value in chunk_values:
-                    values[index] = value
+        chunk_results = self._ensure_pool().map(
+            _estimate_chunk, [c for c in chunks if c])
+        for chunk_values in chunk_results:
+            for index, value in chunk_values:
+                values[index] = value
         self.stats.whatif_calls += len(items)
         self.stats.parallel_batches += 1
         return values
+
+    def _ensure_pool(self):
+        """The persistent worker pool, created on first use from the
+        current catalog snapshot."""
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            schemas, stats, params = self.optimizer.catalog_snapshot()
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.n_workers, initializer=_init_replica,
+                initargs=(schemas, stats, params))
+        return self._pool
 
 
 # ----------------------------------------------------------------------

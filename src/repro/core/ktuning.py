@@ -30,11 +30,12 @@ import numpy as np
 from ..errors import DesignError
 from ..workload.model import Workload
 from ..workload.segmentation import Segment, segment_by_count
+from ..workload.summary import CostUnit, WorkloadSummary
 from .costmatrix import (CostMatrices, CostProvider,
                          build_cost_matrices, supports_batching)
 from .design import DesignSequence, design_from_indices
 from .kaware import solve_constrained
-from .problem import ProblemInstance
+from .problem import AnyProblem, ProblemInstance
 from .sequence_graph import solve_unconstrained
 
 
@@ -151,8 +152,8 @@ class ValidatedKResult:
     designs: Dict[int, DesignSequence]
 
 
-def validated_k(problem: ProblemInstance, provider: CostProvider,
-                variations: Sequence[Workload], block_size: int,
+def validated_k(problem: AnyProblem, provider: CostProvider,
+                variations: Sequence[object], block_size: int,
                 ks: Optional[Sequence[int]] = None,
                 count_initial_change: bool = True
                 ) -> ValidatedKResult:
@@ -164,11 +165,15 @@ def validated_k(problem: ProblemInstance, provider: CostProvider,
     cost. Ties break toward the smaller (less overfit) k.
 
     Args:
-        problem: the training problem (trace already segmented).
+        problem: the training problem (segmented or summarized).
         provider: cost provider (shared across trace and variations).
-        variations: similar-but-not-identical workloads; each must
-            segment into the same number of blocks as the trace.
-        block_size: segmentation used for the variations.
+        variations: similar-but-not-identical workloads — raw
+            :class:`~repro.workload.model.Workload` s or compressed
+            :class:`~repro.workload.summary.WorkloadSummary` s (the
+            two may be mixed); each must yield the same number of
+            blocks/phases as the training problem.
+        block_size: segmentation used for raw variation workloads
+            (summaries carry their own phase boundaries).
         ks: candidate budgets (default 0..l).
     """
     matrices = build_cost_matrices(problem, provider)
@@ -179,9 +184,13 @@ def validated_k(problem: ProblemInstance, provider: CostProvider,
         ks = range(0, l_changes + 1)
     ks = sorted(set(int(k) for k in ks))
 
-    variation_segments: List[List[Segment]] = []
+    variation_segments: List[List[CostUnit]] = []
     for variation in variations:
-        segments = segment_by_count(variation, block_size)
+        if isinstance(variation, WorkloadSummary) or \
+                hasattr(variation, "phases"):
+            segments = list(variation.phases)
+        else:
+            segments = segment_by_count(variation, block_size)
         if len(segments) != problem.n_segments:
             raise DesignError(
                 f"variation {variation.name!r} has {len(segments)} "
@@ -243,9 +252,9 @@ def validated_k(problem: ProblemInstance, provider: CostProvider,
 
 
 def _design_cost_on(provider: CostProvider,
-                    segments: Sequence[Segment],
+                    segments: Sequence[CostUnit],
                     design: DesignSequence,
-                    problem: ProblemInstance,
+                    problem: AnyProblem,
                     exec_lookup=None) -> float:
     """Price a fixed design on a segment sequence.
 

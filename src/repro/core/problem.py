@@ -9,17 +9,28 @@ minimizes total execution + transition cost.
 candidate configuration space. Candidates can be given explicitly (the
 paper's 7-configuration experiment) or enumerated from candidate
 indexes subject to the space bound.
+
+:class:`SummaryProblemInstance` is the atom-based formulation over a
+compressed :class:`~repro.workload.summary.WorkloadSummary`: the
+design may change between *phases*, and each phase's EXEC cost is the
+weighted sum of its atoms' costs (Σ weight × atom cost; TRANS is
+unchanged). It exposes the same axis API (``segments`` /
+``n_segments`` / ``with_k`` / ``restrict_configurations``), so every
+solver and advisor consumes either formulation unchanged — only the
+costing work scales with atoms instead of raw statements.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from ..errors import InfeasibleProblemError
 from ..sqlengine.index import IndexDef, structure_sort_key
 from ..workload.segmentation import Segment
+from ..workload.summary import (PhaseSummary, WorkloadSummary,
+                                summarize_segments)
 from .structures import Configuration, EMPTY_CONFIGURATION
 
 SizeFn = Callable[[Configuration], int]
@@ -96,6 +107,122 @@ class ProblemInstance:
                                initial=self.initial, k=self.k,
                                space_bound_bytes=self.space_bound_bytes,
                                final=self.final)
+
+
+@dataclass(frozen=True)
+class SummaryProblemInstance:
+    """The constrained design problem over a compressed workload.
+
+    Attributes:
+        phases: per-phase atom summaries; the design sequence produced
+            has one configuration per phase.
+        configurations: candidate configurations. Always contains the
+            initial configuration.
+        initial: the starting design C0.
+        k: maximum number of design changes; ``None`` = unconstrained.
+        space_bound_bytes: the bound b used when the candidate space
+            was enumerated.
+        final: optional required final configuration.
+    """
+
+    phases: Tuple[PhaseSummary, ...]
+    configurations: Tuple[Configuration, ...]
+    initial: Configuration
+    k: Optional[int] = None
+    space_bound_bytes: Optional[int] = None
+    final: Optional[Configuration] = None
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise InfeasibleProblemError("summary has no phases")
+        if not self.configurations:
+            raise InfeasibleProblemError("no candidate configurations")
+        if self.k is not None and self.k < 0:
+            raise InfeasibleProblemError(
+                f"change budget k must be >= 0, got {self.k}")
+        if self.initial not in self.configurations:
+            object.__setattr__(
+                self, "configurations",
+                (self.initial,) + tuple(self.configurations))
+        if self.final is not None and \
+                self.final not in self.configurations:
+            raise InfeasibleProblemError(
+                "required final configuration is not a candidate")
+
+    @property
+    def segments(self) -> Tuple[PhaseSummary, ...]:
+        """The phase axis under the segment-axis name, so solvers and
+        matrix builders consume either formulation unchanged."""
+        return self.phases
+
+    @property
+    def n_segments(self) -> int:
+        return len(self.phases)
+
+    @property
+    def n_configurations(self) -> int:
+        return len(self.configurations)
+
+    @property
+    def n_statements(self) -> int:
+        """Raw statements the summary represents."""
+        return sum(phase.length for phase in self.phases)
+
+    @property
+    def n_atoms(self) -> int:
+        return sum(len(phase.atoms) for phase in self.phases)
+
+    def with_k(self, k: Optional[int]) -> "SummaryProblemInstance":
+        """The same instance under a different change budget."""
+        return SummaryProblemInstance(
+            phases=self.phases, configurations=self.configurations,
+            initial=self.initial, k=k,
+            space_bound_bytes=self.space_bound_bytes, final=self.final)
+
+    def restrict_configurations(
+            self, configurations: Sequence[Configuration]
+    ) -> "SummaryProblemInstance":
+        """The same instance over a reduced candidate set (used by the
+        GREEDY-SEQ style advisors)."""
+        return SummaryProblemInstance(
+            phases=self.phases,
+            configurations=tuple(configurations),
+            initial=self.initial, k=self.k,
+            space_bound_bytes=self.space_bound_bytes, final=self.final)
+
+
+AnyProblem = Union[ProblemInstance, SummaryProblemInstance]
+
+
+def problem_from_summary(summary: WorkloadSummary,
+                         configurations: Sequence[Configuration],
+                         initial: Configuration,
+                         k: Optional[int] = None,
+                         space_bound_bytes: Optional[int] = None,
+                         final: Optional[Configuration] = None
+                         ) -> SummaryProblemInstance:
+    """Build the atom-based problem over a workload summary."""
+    return SummaryProblemInstance(
+        phases=tuple(summary.phases),
+        configurations=tuple(configurations), initial=initial, k=k,
+        space_bound_bytes=space_bound_bytes, final=final)
+
+
+def summarize_problem(problem: ProblemInstance
+                      ) -> SummaryProblemInstance:
+    """Compress a segmented problem phase-for-phase.
+
+    The result costs bit-identically to ``problem`` (same atoms per
+    phase, same accumulation order) while the costing work scales
+    with distinct statements — verify family 7 checks exactly this.
+    """
+    summary = summarize_segments(problem.segments)
+    return SummaryProblemInstance(
+        phases=tuple(summary.phases),
+        configurations=problem.configurations,
+        initial=problem.initial, k=problem.k,
+        space_bound_bytes=problem.space_bound_bytes,
+        final=problem.final)
 
 
 def enumerate_configurations(

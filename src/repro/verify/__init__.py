@@ -16,7 +16,14 @@ check families:
    budgets of costs metered on the live engine;
 5. plan identity — the what-if optimizer and the executor pick
    structurally identical physical-plan trees for every statement x
-   configuration.
+   configuration;
+6. fault resilience — catalog atomicity, metric conservation, and
+   convergence under injected faults (:mod:`repro.faults`, run via
+   ``repro chaos``);
+7. scale advisor — the compressed workload-summary formulation fills
+   bit-identical cost matrices, and the LP-relaxation solver's
+   certified interval contains the exact DP optimum while its
+   solution stays feasible.
 
 Entry points: ``repro verify`` on the command line,
 :func:`~repro.verify.runner.run_verification` from code, and
@@ -25,8 +32,9 @@ Entry points: ``repro verify`` on the command line,
 
 from .checks import (DEFAULT_GROUND_TRUTH_BUDGETS,
                      check_constrained_invariants, check_cost_service,
-                     check_ground_truth, check_plan_identity,
-                     check_solver_equivalence,
+                     check_ground_truth, check_lp_bounds,
+                     check_plan_identity, check_solver_equivalence,
+                     check_summary_formulation,
                      replay_ranking_failures,
                      solver_agreement_failures)
 from .generators import (MatrixInstance, TraceInstance,
@@ -40,8 +48,8 @@ __all__ = [
     "CheckFailure", "CheckResult", "MatrixInstance", "TraceInstance",
     "VerificationReport",
     "check_constrained_invariants", "check_cost_service",
-    "check_ground_truth", "check_plan_identity",
-    "check_solver_equivalence",
+    "check_ground_truth", "check_lp_bounds", "check_plan_identity",
+    "check_solver_equivalence", "check_summary_formulation",
     "matrix_instances", "random_matrix_instance",
     "random_trace_problem", "replay_ranking_failures",
     "run_chaos", "run_verification", "solver_agreement_failures",

@@ -36,6 +36,17 @@
    actually deployed, with bit-identical estimated costs. This is the
    plan-IR contract: hypothetical structures are catalog substitution,
    not a second costing path.
+
+7. **Scale advisor** (:func:`check_summary_formulation` on live
+   traces, :func:`check_lp_bounds` on synthetic matrices) — the
+   compressed workload-summary formulation must fill EXEC/TRANS
+   matrices bit-identical to the raw segmented problem (the weighted
+   atom fold is the *same* fold, not an approximation), and the
+   LP-relaxation solver's output must be feasible (budget, space
+   bound, endpoints — the same invariant hook as family 2) with its
+   certified interval ``[lower_bound, cost]`` actually containing the
+   exact DP optimum. (Family 6, fault resilience, lives in
+   :mod:`repro.faults.chaos`.)
 """
 
 from __future__ import annotations
@@ -50,6 +61,8 @@ from ..core.costservice import CostService
 from ..core.kaware import (constrained_invariant_violations,
                            solve_constrained,
                            solve_constrained_reference)
+from ..core.lp_advisor import solve_lp_rounding
+from ..core.problem import summarize_problem
 from ..core.sequence_graph import (SequenceGraph, solve_unconstrained,
                                    solve_unconstrained_reference)
 from ..errors import InfeasibleProblemError
@@ -451,6 +464,112 @@ def check_plan_identity(instance: TraceInstance,
                     f"sql={probe.sql!r}",
                     "executed plan differs from the what-if plan")
     db.apply_configuration(set())
+
+
+# ----------------------------------------------------------------------
+# family 7: summary formulation + LP solver (scale advisor)
+# ----------------------------------------------------------------------
+
+def check_summary_formulation(instance: TraceInstance,
+                              result: CheckResult) -> None:
+    """Summary-vs-raw bit-identity on a live trace (family 7).
+
+    Summarizing the segmented problem and rebuilding its cost
+    matrices through a fresh service must reproduce the raw problem's
+    matrices bit for bit — the atom fold is the canonical weighted
+    accumulation, not an approximation — and the exact DP through
+    both formulations must therefore recommend identical designs.
+    """
+    problem = instance.problem
+    optimizer = instance.service.optimizer
+    label = instance.label
+    summary_problem = summarize_problem(problem)
+    raw_statements = sum(len(segment)
+                         for segment in problem.segments)
+    result.check(
+        summary_problem.n_statements == raw_statements, label,
+        f"summary lost statements: {summary_problem.n_statements} "
+        f"!= {raw_statements}")
+    with CostService(optimizer) as service:
+        raw = build_cost_matrices(problem, service)
+    with CostService(optimizer) as service:
+        compressed = build_cost_matrices(summary_problem, service)
+    result.check(
+        np.array_equal(raw.exec_matrix, compressed.exec_matrix),
+        label,
+        "summary EXEC matrix differs from the raw segmented matrix "
+        "(max abs diff "
+        f"{np.max(np.abs(raw.exec_matrix - compressed.exec_matrix))!r})")
+    result.check(
+        np.array_equal(raw.trans_matrix, compressed.trans_matrix),
+        label,
+        "summary TRANS matrix differs from the raw segmented matrix")
+    k = problem.k if problem.k is not None else 2
+    for count_initial in (True, False):
+        where = f"{label} k={k} count_initial={count_initial}"
+        dp_raw = solve_constrained(raw, k, count_initial)
+        dp_sum = solve_constrained(compressed, k, count_initial)
+        result.check(
+            dp_raw.cost == dp_sum.cost and
+            dp_raw.assignment == dp_sum.assignment, where,
+            f"k-aware DP disagrees across formulations: raw "
+            f"{dp_raw.cost!r}/{dp_raw.assignment} vs summary "
+            f"{dp_sum.cost!r}/{dp_sum.assignment}")
+
+
+def check_lp_bounds(instance: MatrixInstance,
+                    result: CheckResult) -> None:
+    """LP-relaxation feasibility and certified bounds (family 7).
+
+    For every budget up to just past the unconstrained change count,
+    in both counting modes: the LP solution must pass the same
+    invariant hook as the exact DP (budget, space bound, cost
+    consistency), and its certified interval must contain the DP
+    optimum — ``lower_bound <= dp.cost <= lp.cost`` with
+    ``lp.cost - dp.cost <= gap``. A relative epsilon absorbs the
+    dual bound's floating-point accumulation; the feasibility checks
+    are exact.
+    """
+    matrices = instance.matrices
+    for count_initial in (True, False):
+        mode = f"count_initial={count_initial}"
+        max_k = _max_useful_k(matrices, count_initial)
+        for k in range(0, max_k + 2):
+            where = f"{instance.label} k={k} {mode}"
+            dp = solve_constrained(matrices, k, count_initial)
+            lp = solve_lp_rounding(matrices, k, count_initial)
+            violations = constrained_invariant_violations(
+                matrices, lp, k, count_initial_change=count_initial,
+                size_fn=instance.size_of,
+                space_bound_bytes=instance.space_bound_bytes)
+            if violations:
+                result.failed(where, "LP solution: "
+                              + "; ".join(violations))
+            else:
+                result.passed()
+            epsilon = 1e-9 * max(1.0, abs(dp.cost))
+            result.check(
+                lp.lower_bound <= dp.cost + epsilon, where,
+                f"LP lower bound {lp.lower_bound!r} exceeds the DP "
+                f"optimum {dp.cost!r}")
+            result.check(
+                lp.cost >= dp.cost - epsilon, where,
+                f"LP cost {lp.cost!r} beats the exact DP optimum "
+                f"{dp.cost!r} — one of them is wrong")
+            result.check(
+                lp.cost - dp.cost <= lp.gap + epsilon, where,
+                f"LP suboptimality {lp.cost - dp.cost!r} exceeds its "
+                f"own reported gap {lp.gap!r}")
+            result.check(
+                lp.gap == lp.cost - lp.lower_bound, where,
+                f"gap {lp.gap!r} != cost - lower_bound "
+                f"{lp.cost - lp.lower_bound!r}")
+            if k >= max_k:
+                result.check(
+                    lp.gap == 0.0 and lp.cost == dp.cost, where,
+                    f"k >= l={max_k} must be exact with zero gap; "
+                    f"got cost {lp.cost!r} (dp {dp.cost!r}), gap "
+                    f"{lp.gap!r}")
 
 
 def replay_ranking_failures(

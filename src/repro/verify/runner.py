@@ -1,9 +1,10 @@
 """Orchestration: one call runs every check family.
 
-:func:`run_verification` drives the five families over a batch of
+:func:`run_verification` drives families 1-5 and 7 over a batch of
 randomized matrix instances and one or more live trace instances,
-returning a :class:`~repro.verify.report.VerificationReport`. The
-``repro verify`` CLI subcommand and the CI quick gate are thin
+returning a :class:`~repro.verify.report.VerificationReport`
+(family 6, fault resilience, runs separately via :func:`run_chaos`).
+The ``repro verify`` CLI subcommand and the CI quick gate are thin
 wrappers around it.
 
 ``quick`` shrinks the *live-engine* work (fewer rows, fewer blocks,
@@ -18,8 +19,9 @@ import time
 from typing import Optional
 
 from .checks import (check_constrained_invariants, check_cost_service,
-                     check_ground_truth, check_plan_identity,
-                     check_solver_equivalence)
+                     check_ground_truth, check_lp_bounds,
+                     check_plan_identity, check_solver_equivalence,
+                     check_summary_formulation)
 from .generators import matrix_instances, random_trace_problem
 from .report import CheckResult, VerificationReport
 
@@ -29,7 +31,7 @@ def run_verification(seed: int = 0, instances: int = 50,
                      nrows: Optional[int] = None,
                      traces: Optional[int] = None
                      ) -> VerificationReport:
-    """Run all five check families.
+    """Run check families 1-5 and 7.
 
     Args:
         seed: base seed; instance i uses ``seed + i``.
@@ -62,10 +64,15 @@ def run_verification(seed: int = 0, instances: int = 50,
     planidentity = CheckResult(
         "planidentity", "what-if plan trees structurally equal to "
                         "executor plan trees, per statement x config")
+    scaleadvisor = CheckResult(
+        "scaleadvisor", "summary formulation bit-identical to raw "
+                        "matrices; LP solution feasible with a "
+                        "certified bound containing the DP optimum")
 
     for instance in matrix_instances(seed, instances):
         check_solver_equivalence(instance, solvers)
         check_constrained_invariants(instance, invariants)
+        check_lp_bounds(instance, scaleadvisor)
 
     for t in range(traces):
         trace = random_trace_problem(seed + t, nrows=nrows,
@@ -74,10 +81,11 @@ def run_verification(seed: int = 0, instances: int = 50,
         check_cost_service(trace, costservice)
         check_ground_truth(trace, groundtruth)
         check_plan_identity(trace, planidentity)
+        check_summary_formulation(trace, scaleadvisor)
 
     report = VerificationReport(
         results=[solvers, invariants, costservice, groundtruth,
-                 planidentity])
+                 planidentity, scaleadvisor])
     report.seconds = time.perf_counter() - start
     return report
 

@@ -9,14 +9,20 @@ from .mixes import (MIX_A, MIX_B, MIX_C, MIX_D, PAPER_BLOCK_SIZE,
                     PAPER_WORKLOAD_BLOCKS, W1_MAJOR_SHIFT_BLOCKS,
                     block_labels, make_paper_workload, paper_generator)
 from .analysis import (BlockProfile, ShiftReport, block_profiles,
-                       detect_shifts, suggest_k)
+                       detect_shifts, detect_shifts_from_profiles,
+                       detect_summary_shifts, suggest_k,
+                       summary_profiles)
 from .model import Statement, Workload
 from .perturb import (drop_and_duplicate, jitter_blocks,
                       resample_values, resize_blocks,
                       standard_variations)
-from .segmentation import (Segment, segment_by_count, segment_by_tag,
-                           segment_per_statement)
-from .trace import load_trace, save_trace
+from .segmentation import (Segment, iter_segments_by_count,
+                           iter_segments_by_tag, segment_by_count,
+                           segment_by_tag, segment_per_statement)
+from .summary import (PhaseSummary, WorkloadAtom, WorkloadSummary,
+                      atoms_of, summarize_segment, summarize_segments,
+                      summarize_statements, summarize_workload)
+from .trace import iter_trace, load_trace, save_trace, trace_name
 
 __all__ = [
     "Phase", "PointQueryGenerator", "QueryMix",
@@ -26,11 +32,15 @@ __all__ = [
     "PAPER_WORKLOAD_BLOCKS", "W1_MAJOR_SHIFT_BLOCKS", "block_labels",
     "make_paper_workload", "paper_generator",
     "BlockProfile", "ShiftReport", "block_profiles", "detect_shifts",
-    "suggest_k",
+    "detect_shifts_from_profiles", "detect_summary_shifts",
+    "suggest_k", "summary_profiles",
     "Statement", "Workload",
     "drop_and_duplicate", "jitter_blocks", "resample_values",
     "resize_blocks", "standard_variations",
-    "Segment", "segment_by_count", "segment_by_tag",
-    "segment_per_statement",
-    "load_trace", "save_trace",
+    "Segment", "iter_segments_by_count", "iter_segments_by_tag",
+    "segment_by_count", "segment_by_tag", "segment_per_statement",
+    "PhaseSummary", "WorkloadAtom", "WorkloadSummary", "atoms_of",
+    "summarize_segment", "summarize_segments", "summarize_statements",
+    "summarize_workload",
+    "iter_trace", "load_trace", "save_trace", "trace_name",
 ]

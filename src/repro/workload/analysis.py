@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..errors import WorkloadError
 from ..sqlengine.sql.ast import SelectStmt
 from .model import Statement, Workload
+from .summary import WorkloadSummary, atoms_of
 
 
 @dataclass(frozen=True)
@@ -86,6 +87,27 @@ def block_profiles(workload: Workload,
     return profiles
 
 
+def summary_profiles(summary: WorkloadSummary) -> List[BlockProfile]:
+    """Per-phase column frequencies of a compressed workload summary.
+
+    The summary-IR analogue of :func:`block_profiles`: each atom
+    contributes its weight (the number of raw statements it stands
+    for), so the frequencies are exactly those the raw trace would
+    have produced at phase granularity — no statement list needed.
+    """
+    profiles: List[BlockProfile] = []
+    for index, phase in enumerate(summary.phases):
+        counts: Dict[str, int] = {}
+        for statement, weight in atoms_of(phase):
+            key = _queried_column(statement) or "<other>"
+            counts[key] = counts.get(key, 0) + weight
+        total = max(1, phase.length)
+        profiles.append(BlockProfile(
+            block_index=index,
+            frequencies={c: n / total for c, n in counts.items()}))
+    return profiles
+
+
 def detect_shifts(workload: Workload, block_size: int,
                   window: int = 4,
                   threshold: float = 0.25) -> ShiftReport:
@@ -104,7 +126,23 @@ def detect_shifts(workload: Workload, block_size: int,
         window: blocks averaged on each side of a boundary.
         threshold: total-variation distance that constitutes a shift.
     """
-    profiles = block_profiles(workload, block_size)
+    return detect_shifts_from_profiles(
+        block_profiles(workload, block_size), window, threshold)
+
+
+def detect_summary_shifts(summary: WorkloadSummary, window: int = 4,
+                          threshold: float = 0.25) -> ShiftReport:
+    """:func:`detect_shifts` on a compressed summary: same criterion,
+    phase-granular profiles, bounded memory."""
+    return detect_shifts_from_profiles(
+        summary_profiles(summary), window, threshold)
+
+
+def detect_shifts_from_profiles(profiles: Sequence[BlockProfile],
+                                window: int = 4,
+                                threshold: float = 0.25
+                                ) -> ShiftReport:
+    """The shift-detection core, over prebuilt block/phase profiles."""
     candidates: List[Tuple[int, float]] = []   # (boundary, sustained)
     minor: List[int] = []
     for boundary in range(1, len(profiles)):

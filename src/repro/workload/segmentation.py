@@ -5,15 +5,24 @@ between which the physical design may change. A segment can be a single
 statement (the paper's problem definition), a fixed-size block (the
 presentation granularity of the paper's Table 2), or a run of
 identically tagged statements.
+
+Segmentation is streaming: :func:`iter_segments_by_count` and
+:func:`iter_segments_by_tag` consume any statement iterable — a
+materialized :class:`~repro.workload.model.Workload`, a generator, or
+a trace file being read line by line — holding at most one block of
+statements in memory. The list-returning helpers
+(:func:`segment_by_count`, :func:`segment_by_tag`) are thin wrappers
+over the iterators, so the edge cases (empty trace, single statement,
+final partial block) are handled once, without list indexing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import WorkloadError
-from .model import Statement, Workload
+from .model import Statement
 
 
 @dataclass(frozen=True)
@@ -46,40 +55,65 @@ class Segment:
         return f"Segment([{self.start}:{self.end}]{tag})"
 
 
-def segment_by_count(workload: Workload, block_size: int) -> List[Segment]:
-    """Split into fixed-size blocks (last block may be short)."""
+def iter_segments_by_count(statements: Iterable[Statement],
+                           block_size: int) -> Iterator[Segment]:
+    """Stream fixed-size blocks from any statement iterable.
+
+    Only the current block is buffered, so this works on traces far
+    larger than memory. An empty input yields no segments; a final
+    partial block (including a single-statement trace) is emitted as a
+    well-formed short segment.
+    """
     if block_size <= 0:
         raise WorkloadError("block_size must be positive")
-    segments: List[Segment] = []
-    for start in range(0, len(workload), block_size):
-        statements = tuple(workload.statements[start:start + block_size])
-        segments.append(Segment(statements=statements, start=start,
-                                tag=_dominant_tag(statements)))
-    return segments
+    block: List[Statement] = []
+    start = 0
+    for statement in statements:
+        block.append(statement)
+        if len(block) == block_size:
+            yield Segment(statements=tuple(block), start=start,
+                          tag=_dominant_tag(block))
+            start += len(block)
+            block = []
+    if block:
+        yield Segment(statements=tuple(block), start=start,
+                      tag=_dominant_tag(block))
 
 
-def segment_by_tag(workload: Workload) -> List[Segment]:
-    """Split at every tag change (runs of identically tagged queries)."""
-    segments: List[Segment] = []
+def iter_segments_by_tag(statements: Iterable[Statement]
+                         ) -> Iterator[Segment]:
+    """Stream runs of identically tagged statements."""
     run: List[Statement] = []
     run_start = 0
-    for i, statement in enumerate(workload):
+    position = 0
+    for statement in statements:
         if run and statement.tag != run[-1].tag:
-            segments.append(Segment(tuple(run), run_start, run[-1].tag))
-            run, run_start = [], i
+            yield Segment(tuple(run), run_start, run[-1].tag)
+            run, run_start = [], position
         run.append(statement)
+        position += 1
     if run:
-        segments.append(Segment(tuple(run), run_start, run[-1].tag))
-    return segments
+        yield Segment(tuple(run), run_start, run[-1].tag)
 
 
-def segment_per_statement(workload: Workload) -> List[Segment]:
+def segment_by_count(workload: Iterable[Statement],
+                     block_size: int) -> List[Segment]:
+    """Split into fixed-size blocks (last block may be short)."""
+    return list(iter_segments_by_count(workload, block_size))
+
+
+def segment_by_tag(workload: Iterable[Statement]) -> List[Segment]:
+    """Split at every tag change (runs of identically tagged queries)."""
+    return list(iter_segments_by_tag(workload))
+
+
+def segment_per_statement(workload: Iterable[Statement]) -> List[Segment]:
     """One segment per statement — the paper's exact formulation."""
     return [Segment((statement,), i, statement.tag)
             for i, statement in enumerate(workload)]
 
 
-def _dominant_tag(statements: Tuple[Statement, ...]) -> Optional[str]:
+def _dominant_tag(statements: Sequence[Statement]) -> Optional[str]:
     counts: dict = {}
     for statement in statements:
         if statement.tag is not None:

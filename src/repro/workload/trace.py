@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
+from typing import Iterator, Optional, Union
 
 from ..errors import WorkloadError
 from .model import Statement, Workload
@@ -36,11 +36,14 @@ def save_trace(workload: Workload, path: Union[str, Path]) -> int:
     return len(workload)
 
 
-def load_trace(path: Union[str, Path]) -> Workload:
-    """Read a workload previously written by :func:`save_trace`."""
+def iter_trace(path: Union[str, Path]) -> Iterator[Statement]:
+    """Stream statements from a trace file without materializing it.
+
+    Validates the header, then yields one :class:`Statement` per
+    record — the input side of the bounded-memory summarization
+    pipeline (:func:`repro.workload.summary.summarize_statements`).
+    """
     path = Path(path)
-    statements = []
-    name = None
     with path.open("r", encoding="utf-8") as handle:
         for line_no, line in enumerate(handle):
             line = line.strip()
@@ -59,11 +62,32 @@ def load_trace(path: Union[str, Path]) -> Workload:
                     raise WorkloadError(
                         f"{path}: unsupported trace version "
                         f"{record.get('version')}")
-                name = record.get("name")
                 continue
             if "sql" not in record:
                 raise WorkloadError(
                     f"{path}:{line_no + 1}: record missing 'sql'")
-            statements.append(Statement(record["sql"],
-                                        tag=record.get("tag")))
-    return Workload(statements, name=name)
+            yield Statement(record["sql"], tag=record.get("tag"))
+
+
+def trace_name(path: Union[str, Path]) -> Optional[str]:
+    """The workload name recorded in a trace file's header."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise WorkloadError(
+                    f"{path}:1: invalid JSON: {exc}") from exc
+            if record.get("format") != "repro-trace":
+                raise WorkloadError(f"{path} is not a repro trace file")
+            return record.get("name")
+    raise WorkloadError(f"{path} is empty, not a repro trace file")
+
+
+def load_trace(path: Union[str, Path]) -> Workload:
+    """Read a workload previously written by :func:`save_trace`."""
+    return Workload(iter_trace(path), name=trace_name(path))

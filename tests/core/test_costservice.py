@@ -486,3 +486,72 @@ class TestParallelBuilds:
                             small_problem.configurations)
         assert service.stats.parallel_batches == batches
         assert service.stats.whatif_calls == calls
+
+
+class TestPersistentPool:
+    """The worker pool outlives a single matrix build: one spawn per
+    service lifetime, not one per exec_matrix call."""
+
+    def test_pool_reused_across_builds(self, small_db,
+                                       paper_candidates):
+        configs = single_index_configurations(paper_candidates)
+
+        def range_problem(bounds):
+            # Distinct range bounds are distinct templates, so each
+            # problem forces a fresh pending batch past the caches.
+            statements = [Statement(f"SELECT a FROM t WHERE a < {b}")
+                          for b in bounds]
+            return ProblemInstance(
+                segments=(Segment(tuple(statements), 0),),
+                configurations=configs,
+                initial=EMPTY_CONFIGURATION,
+                final=EMPTY_CONFIGURATION)
+
+        with CostService(small_db.what_if(), n_workers=2) as service:
+            build_cost_matrices(
+                range_problem([1_000, 2_000, 3_000]), service)
+            pool = service._pool
+            assert pool is not None
+            assert service.stats.parallel_batches >= 1
+            build_cost_matrices(
+                range_problem([100_000, 200_000, 300_000]), service)
+            assert service._pool is pool
+            assert service.stats.parallel_batches >= 2
+
+    def test_no_pool_until_parallel_work(self, small_db):
+        service = CostService(small_db.what_if(), n_workers=2)
+        assert service._pool is None
+        service.close()
+
+    def test_close_releases_pool(self, small_db, small_problem):
+        service = CostService(small_db.what_if(), n_workers=2)
+        service.exec_matrix(small_problem.segments,
+                            small_problem.configurations)
+        assert service._pool is not None
+        service.close()
+        assert service._pool is None
+        # Close is idempotent.
+        service.close()
+
+    def test_context_manager_closes(self, small_db, small_problem):
+        with CostService(small_db.what_if(), n_workers=2) as service:
+            service.exec_matrix(small_problem.segments,
+                                small_problem.configurations)
+            assert service._pool is not None
+        assert service._pool is None
+
+    def test_invalidate_discards_stale_replica_pool(self, small_db,
+                                                    small_problem):
+        service = CostService(small_db.what_if(), n_workers=2)
+        try:
+            service.exec_matrix(small_problem.segments,
+                                small_problem.configurations)
+            stale = service._pool
+            service.invalidate()
+            assert service._pool is None
+            service.exec_matrix(small_problem.segments,
+                                small_problem.configurations)
+            assert service._pool is not None
+            assert service._pool is not stale
+        finally:
+            service.close()

@@ -1,0 +1,113 @@
+"""Unit tests for the LP-relaxation + rounding solver and advisor."""
+
+import pytest
+
+from repro.core import (ConstrainedGraphAdvisor, LPAdvisor,
+                        solve_lp_rounding, summarize_problem)
+from repro.core.kaware import solve_constrained
+from repro.errors import InfeasibleProblemError
+
+from .helpers import brute_force_best, random_matrices
+
+
+def _changes(matrices, assignment, count_initial_change):
+    changes = 0
+    previous = matrices.initial_index if count_initial_change \
+        else assignment[0]
+    for cfg in assignment:
+        if cfg != previous:
+            changes += 1
+        previous = cfg
+    return changes
+
+
+class TestSolveLPRounding:
+    def test_negative_k_raises(self):
+        matrices = random_matrices(4, 3, seed=0)
+        with pytest.raises(InfeasibleProblemError):
+            solve_lp_rounding(matrices, -1)
+
+    def test_unconstrained_budget_is_exact(self):
+        matrices = random_matrices(5, 4, seed=1)
+        result = solve_lp_rounding(matrices, k=5)
+        _, optimum = brute_force_best(matrices, k=None)
+        assert result.cost == optimum
+        assert result.gap == 0.0
+        assert result.method == "unconstrained"
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("k", [0, 1, 2])
+    @pytest.mark.parametrize("count_initial", [True, False])
+    def test_feasible_and_bounded(self, seed, k, count_initial):
+        matrices = random_matrices(6, 4, seed=seed, trans_scale=2.0)
+        lp = solve_lp_rounding(matrices, k,
+                               count_initial_change=count_initial)
+        dp = solve_constrained(matrices, k,
+                               count_initial_change=count_initial)
+        assert _changes(matrices, lp.assignment, count_initial) <= k
+        assert lp.change_count == _changes(matrices, lp.assignment,
+                                           count_initial)
+        epsilon = 1e-9 * max(1.0, abs(dp.cost))
+        assert lp.lower_bound <= dp.cost + epsilon
+        assert lp.cost >= dp.cost - epsilon
+        assert lp.cost - dp.cost <= lp.gap + epsilon
+        assert lp.gap == lp.cost - lp.lower_bound
+
+    def test_cost_matches_assignment(self):
+        matrices = random_matrices(6, 4, seed=9)
+        lp = solve_lp_rounding(matrices, k=1)
+        assert lp.cost == matrices.sequence_cost(lp.assignment)
+
+    def test_pinned_final_respected(self):
+        matrices = random_matrices(5, 4, seed=3, final_index=2)
+        lp = solve_lp_rounding(matrices, k=1)
+        assert _changes(matrices, lp.assignment, True) <= 1
+        assert lp.cost == matrices.sequence_cost(lp.assignment)
+
+    def test_k_zero_stays_put(self):
+        matrices = random_matrices(4, 3, seed=5)
+        lp = solve_lp_rounding(matrices, k=0)
+        assert lp.change_count == 0
+        assert len(set(lp.assignment)) == 1
+        assert lp.assignment[0] == matrices.initial_index
+
+    def test_method_labels(self):
+        matrices = random_matrices(6, 4, seed=2, trans_scale=0.1)
+        tight = solve_lp_rounding(matrices, k=6)
+        assert tight.method == "unconstrained"
+        constrained = solve_lp_rounding(matrices, k=1)
+        assert constrained.method in ("unconstrained", "dual",
+                                      "dual+merge")
+        assert constrained.iterations >= 1
+
+
+class TestLPAdvisor:
+    def test_recommendation_carries_interval(self, small_problem,
+                                             small_provider):
+        recommendation = LPAdvisor(2).recommend(small_problem,
+                                                small_provider)
+        stats = recommendation.stats
+        assert stats["k"] == 2
+        assert stats["gap"] == recommendation.cost - \
+            stats["lower_bound"]
+        assert stats["method"] in ("unconstrained", "dual",
+                                   "dual+merge")
+        assert recommendation.change_count <= 2
+
+    def test_dominated_by_exact_dp(self, small_problem,
+                                   small_provider):
+        lp = LPAdvisor(1).recommend(small_problem, small_provider)
+        dp = ConstrainedGraphAdvisor(1).recommend(small_problem,
+                                                  small_provider)
+        epsilon = 1e-9 * max(1.0, abs(dp.cost))
+        assert lp.cost >= dp.cost - epsilon
+        assert lp.stats["lower_bound"] <= dp.cost + epsilon
+
+    def test_summary_problem_same_interval(self, small_problem,
+                                           small_provider):
+        raw = LPAdvisor(2).recommend(small_problem, small_provider)
+        compressed = LPAdvisor(2).recommend(
+            summarize_problem(small_problem), small_provider)
+        assert compressed.cost == raw.cost
+        assert compressed.stats["lower_bound"] == \
+            raw.stats["lower_bound"]

@@ -118,6 +118,66 @@ class TestCostsCommand:
         assert "what-if calls issued" in out
 
 
+class TestSummaryPath:
+    def test_recommend_summary_matches_raw(self, trace_path, capsys):
+        assert main(["recommend", "--trace", str(trace_path),
+                     "--block-size", "40", "--rows", "20000",
+                     "--k", "2"]) == 0
+        raw_out = capsys.readouterr().out
+        assert main(["recommend", "--trace", str(trace_path),
+                     "--block-size", "40", "--rows", "20000",
+                     "--k", "2", "--summary"]) == 0
+        summary_out = capsys.readouterr().out
+        assert "summarized trace: 1200 statements" in summary_out
+        assert "x compression)" in summary_out
+
+        def designs(text):
+            return [line for line in text.splitlines()
+                    if "blocks" in line and "I(" in line]
+
+        assert designs(summary_out) == designs(raw_out)
+
+    def test_summary_detects_k(self, trace_path, capsys):
+        assert main(["recommend", "--trace", str(trace_path),
+                     "--block-size", "40", "--rows", "20000",
+                     "--summary"]) == 0
+        assert "detected k = 2" in capsys.readouterr().out
+
+    def test_lp_advisor_reports_interval(self, trace_path, capsys):
+        assert main(["recommend", "--trace", str(trace_path),
+                     "--block-size", "40", "--rows", "20000",
+                     "--k", "2", "--summary", "--advisor", "lp"]) == 0
+        out = capsys.readouterr().out
+        assert "lp:" in out
+        assert "optimality: true optimum within" in out
+        assert "gap" in out
+
+    def test_costs_summary(self, trace_path, capsys):
+        assert main(["costs", "--trace", str(trace_path),
+                     "--block-size", "40", "--rows", "20000",
+                     "--k", "2", "--summary",
+                     "--advisors", "kaware,lp"]) == 0
+        out = capsys.readouterr().out
+        assert "summarized trace:" in out
+        assert "kaware" in out and "lp" in out
+
+
+class TestScaleCommand:
+    def test_writes_report(self, tmp_path, capsys):
+        out_path = tmp_path / "scale.json"
+        assert main(["scale", "--sizes", "300,900", "--phases", "3",
+                     "--k", "1", "--rows", "1500",
+                     "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "scale advising" in out
+        assert "summary" in out and "legacy" in out
+        assert f"wrote {out_path}" in out
+        import json
+        report = json.loads(out_path.read_text())
+        assert report["ok"] is True
+        assert report["ratios"]
+
+
 class TestExperimentCommand:
     def test_table1(self, capsys):
         assert main(["experiment", "table1"]) == 0

@@ -1,0 +1,58 @@
+"""Property tests for the LP-relaxation + rounding solver.
+
+For every random instance the LP path must return a *feasible*
+assignment whose certified interval ``[lower_bound, cost]`` contains
+the exact DP optimum, and must be exact whenever the budget no longer
+binds.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.kaware import solve_constrained
+from repro.core.lp_advisor import solve_lp_rounding
+
+from .test_solver_property import matrices_strategy
+
+
+def _changes(matrices, assignment, count_initial_change):
+    changes = 0
+    previous = matrices.initial_index if count_initial_change \
+        else assignment[0]
+    for cfg in assignment:
+        if cfg != previous:
+            changes += 1
+        previous = cfg
+    return changes
+
+
+@given(matrices=matrices_strategy(max_seg=6, max_cfg=4),
+       k=st.integers(0, 4),
+       count_initial=st.booleans())
+@settings(max_examples=80, deadline=None)
+def test_lp_is_feasible_with_certified_interval(matrices, k,
+                                                count_initial):
+    lp = solve_lp_rounding(matrices, k,
+                           count_initial_change=count_initial)
+    dp = solve_constrained(matrices, k,
+                           count_initial_change=count_initial)
+
+    assert _changes(matrices, lp.assignment, count_initial) <= k
+    assert lp.change_count == _changes(matrices, lp.assignment,
+                                       count_initial)
+    assert lp.cost == matrices.sequence_cost(lp.assignment)
+
+    epsilon = 1e-9 * max(1.0, abs(dp.cost))
+    assert lp.lower_bound <= dp.cost + epsilon
+    assert lp.cost >= dp.cost - epsilon
+    assert lp.cost - dp.cost <= lp.gap + epsilon
+    assert lp.gap == lp.cost - lp.lower_bound
+
+
+@given(matrices=matrices_strategy(max_seg=5, max_cfg=4))
+@settings(max_examples=60, deadline=None)
+def test_lp_exact_when_budget_does_not_bind(matrices):
+    k = matrices.n_segments  # an unconstrained walk never needs more
+    lp = solve_lp_rounding(matrices, k)
+    dp = solve_constrained(matrices, k)
+    assert lp.cost == dp.cost
+    assert lp.gap == 0.0

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.errors import WorkloadError
-from repro.workload import (Statement, Workload, segment_by_count,
+from repro.workload import (Statement, Workload, iter_segments_by_count,
+                            iter_segments_by_tag, segment_by_count,
                             segment_by_tag, segment_per_statement)
 
 
@@ -73,3 +74,69 @@ class TestSegmentPerStatement:
     def test_repr_shows_span(self, workload):
         segment = segment_by_count(workload, 3)[1]
         assert "[3:6]" in repr(segment)
+
+
+class TestStreamingByCount:
+    """The streaming iterators must handle what a materialized list
+    handles — including the edges a generator makes easy to get wrong."""
+
+    def test_empty_trace_yields_nothing(self):
+        assert list(iter_segments_by_count(iter([]), 5)) == []
+
+    def test_single_statement_trace(self):
+        segments = list(iter_segments_by_count(
+            iter([Statement("SELECT a FROM t", tag="A")]), 5))
+        assert len(segments) == 1
+        assert len(segments[0]) == 1
+        assert segments[0].start == 0
+        assert segments[0].tag == "A"
+
+    def test_final_partial_block(self):
+        statements = (Statement(f"SELECT a FROM t WHERE a = {i}")
+                      for i in range(7))
+        segments = list(iter_segments_by_count(statements, 3))
+        assert [len(s) for s in segments] == [3, 3, 1]
+        assert [s.start for s in segments] == [0, 3, 6]
+        assert segments[-1].end == 7
+
+    def test_generator_input_matches_list(self, workload):
+        streamed = list(iter_segments_by_count(
+            iter(workload), 4))
+        materialized = segment_by_count(workload, 4)
+        assert [tuple(s.statements) for s in streamed] == \
+            [tuple(s.statements) for s in materialized]
+        assert [(s.start, s.tag) for s in streamed] == \
+            [(s.start, s.tag) for s in materialized]
+
+    def test_is_lazy(self):
+        consumed = []
+
+        def trace():
+            for i in range(10):
+                consumed.append(i)
+                yield Statement(f"SELECT a FROM t WHERE a = {i}")
+
+        iterator = iter_segments_by_count(trace(), 4)
+        assert consumed == []
+        next(iterator)
+        assert len(consumed) == 4
+
+    def test_zero_block_raises_before_consuming(self):
+        with pytest.raises(WorkloadError):
+            list(iter_segments_by_count(iter([]), 0))
+
+
+class TestStreamingByTag:
+    def test_empty_trace_yields_nothing(self):
+        assert list(iter_segments_by_tag(iter([]))) == []
+
+    def test_single_statement_trace(self):
+        segments = list(iter_segments_by_tag(
+            iter([Statement("SELECT a FROM t", tag="B")])))
+        assert [s.tag for s in segments] == ["B"]
+        assert segments[0].start == 0
+
+    def test_final_run_emitted(self, workload):
+        streamed = list(iter_segments_by_tag(iter(workload)))
+        assert [s.tag for s in streamed] == ["A", "B", "C"]
+        assert [s.start for s in streamed] == [0, 2, 5]

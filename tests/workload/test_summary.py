@@ -1,0 +1,146 @@
+"""Unit tests for the compressed workload-summary IR."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload import (Statement, Workload, atoms_of,
+                            iter_segments_by_count, segment_by_count,
+                            summarize_segment, summarize_segments,
+                            summarize_statements, summarize_workload)
+from repro.workload.summary import PhaseSummary, WorkloadAtom
+
+
+def _point(value, column="a", tag=None):
+    return Statement(f"SELECT {column} FROM t WHERE {column} = {value}",
+                     tag=tag)
+
+
+@pytest.fixture
+def repeated_trace():
+    """Twelve statements over only four distinct SQL texts."""
+    return [_point(i % 4, tag="AB"[i % 2]) for i in range(12)]
+
+
+class TestSummarizeStatements:
+    def test_empty_trace_yields_zero_phases(self):
+        summary = summarize_statements(iter([]), 5)
+        assert summary.n_phases == 0
+        assert summary.n_statements == 0
+        assert summary.compression_ratio == 1.0
+
+    def test_single_statement_trace(self):
+        summary = summarize_statements(iter([_point(1, tag="A")]), 5)
+        assert summary.n_phases == 1
+        assert summary.phases[0].length == 1
+        assert summary.phases[0].start == 0
+        assert summary.phases[0].tag == "A"
+
+    def test_final_partial_phase(self):
+        summary = summarize_statements(
+            (_point(i) for i in range(7)), 3)
+        assert [p.length for p in summary.phases] == [3, 3, 1]
+        assert [p.start for p in summary.phases] == [0, 3, 6]
+        assert summary.phases[-1].end == 7
+
+    def test_zero_block_raises(self):
+        with pytest.raises(WorkloadError):
+            summarize_statements(iter([]), 0)
+
+    def test_compresses_repeated_sql(self, repeated_trace):
+        summary = summarize_statements(iter(repeated_trace), 12)
+        assert summary.n_statements == 12
+        assert summary.n_atoms == 4
+        assert summary.compression_ratio == 3.0
+        assert all(atom.weight == 3
+                   for atom in summary.phases[0].atoms)
+
+    def test_phase_boundaries_reset_atom_tables(self, repeated_trace):
+        summary = summarize_statements(iter(repeated_trace), 4)
+        assert summary.n_phases == 3
+        # Each phase sees each SQL once per block of four.
+        assert [phase.n_atoms for phase in summary.phases] == [4, 4, 4]
+
+    def test_dominant_tag(self):
+        trace = [_point(i, tag=("A" if i < 3 else "B"))
+                 for i in range(4)]
+        summary = summarize_statements(iter(trace), 4)
+        assert summary.phases[0].tag == "A"
+
+    def test_tag_counts_match_workload(self, repeated_trace):
+        workload = Workload(repeated_trace)
+        summary = summarize_statements(iter(repeated_trace), 5)
+        assert summary.tag_counts() == workload.tag_counts()
+
+    def test_mirrors_streaming_segmentation(self, repeated_trace):
+        segments = list(iter_segments_by_count(
+            iter(repeated_trace), 5))
+        summary = summarize_statements(iter(repeated_trace), 5)
+        assert [(p.start, p.length, p.tag) for p in summary.phases] \
+            == [(s.start, len(s), s.tag) for s in segments]
+
+
+class TestSummarizeSegments:
+    def test_segment_roundtrip_preserves_bookkeeping(
+            self, repeated_trace):
+        segment = segment_by_count(Workload(repeated_trace), 5)[1]
+        phase = summarize_segment(segment)
+        assert (phase.start, phase.length, phase.tag) == \
+            (segment.start, len(segment), segment.tag)
+
+    def test_atoms_match_canonical_fold(self, repeated_trace):
+        segment = segment_by_count(Workload(repeated_trace), 12)[0]
+        phase = summarize_segment(segment)
+        assert list(atoms_of(phase)) == list(atoms_of(segment))
+
+    def test_summarize_segments_keeps_phase_count(self, repeated_trace):
+        segments = segment_by_count(Workload(repeated_trace), 5)
+        summary = summarize_segments(segments, name="w")
+        assert summary.n_phases == len(segments)
+        assert summary.name == "w"
+
+    def test_summarize_workload_carries_name(self, repeated_trace):
+        workload = Workload(repeated_trace, name="W9")
+        assert summarize_workload(workload, 6).name == "W9"
+
+
+class TestAtomsOf:
+    def test_groups_by_sql_first_appearance(self):
+        statements = [_point(2), _point(1), _point(2), _point(1),
+                      _point(2)]
+        segment = segment_by_count(Workload(statements), 5)[0]
+        atoms = list(atoms_of(segment))
+        assert [s.sql for s, _ in atoms] == [_point(2).sql,
+                                             _point(1).sql]
+        assert [w for _, w in atoms] == [3, 2]
+
+    def test_representative_is_first_occurrence(self):
+        statements = [_point(1, tag="A"), _point(1, tag="B")]
+        segment = segment_by_count(Workload(statements), 2)[0]
+        (statement, weight), = atoms_of(segment)
+        assert statement.tag == "A"
+        assert weight == 2
+
+    def test_phase_summary_yields_stored_atoms(self):
+        atom = WorkloadAtom(_point(7), 3)
+        phase = PhaseSummary(atoms=(atom,), start=0, length=3)
+        assert list(atoms_of(phase)) == [(atom.statement, 3)]
+
+
+class TestPhaseSummaryValidation:
+    def test_weight_length_mismatch_raises(self):
+        with pytest.raises(WorkloadError):
+            PhaseSummary(atoms=(WorkloadAtom(_point(1), 2),),
+                         start=0, length=3)
+
+    def test_len_is_raw_statement_count(self):
+        phase = PhaseSummary(atoms=(WorkloadAtom(_point(1), 4),),
+                             start=2, length=4)
+        assert len(phase) == 4
+        assert phase.n_atoms == 1
+        assert phase.end == 6
+
+    def test_repr_shows_span_and_atoms(self):
+        phase = PhaseSummary(atoms=(WorkloadAtom(_point(1), 2),),
+                             start=0, length=2, tag="A")
+        assert "[0:2]" in repr(phase)
+        assert "1 atoms" in repr(phase)
