@@ -1,19 +1,22 @@
 """Costing-pipeline performance: decomposition and parallel builds.
 
-Measures EXEC/TRANS matrix construction over the Table 1 mixes with
-the enriched candidate space (six paper indexes + two views, 37
+Measures EXEC matrix construction over the enriched Table 1 mixes
+(dozens of templates via the range/ordered/two-column enrichment
+statements) against the enlarged candidate space (20 structures, 211
 configurations) in three legs — undecomposed, signature-decomposed,
-and process-pool parallel — and asserts the decomposition contract:
-bit-identical matrices with a >= 3x reduction in what-if calls.
+and process-pool parallel with the cold pool start measured apart
+from steady state — and asserts the decomposition contract:
+bit-identical matrices with a >= 3x reduction in what-if calls, plus
+the steady-state parallel-speedup floor wherever the host has enough
+CPUs to enforce it.
 """
 
 import os
 
 import pytest
 
-from repro.bench.perf import (build_perf_database, build_perf_problems,
-                              run_perf)
-from repro.core.costmatrix import build_cost_matrices
+from repro.bench.perf import (available_cpus, build_perf_database,
+                              build_perf_problems, run_perf)
 from repro.core.costservice import CostService
 
 
@@ -26,6 +29,7 @@ def _env_int(name: str, default: int) -> int:
 
 NROWS = _env_int("REPRO_BENCH_NROWS", 100_000)
 BLOCK = _env_int("REPRO_BENCH_BLOCK", 100)
+WORKERS = _env_int("REPRO_BENCH_WORKERS", 4)
 
 
 @pytest.fixture(scope="module")
@@ -39,27 +43,38 @@ def perf_problems(perf_db):
 
 
 def test_perf_report(capsys):
-    report = run_perf(nrows=NROWS, block_size=BLOCK, seed=0, workers=2)
+    report = run_perf(nrows=NROWS, block_size=BLOCK, seed=0,
+                      workers=WORKERS)
     with capsys.disabled():
         print("\n" + report.format() + "\n")
     assert report.ok, report.failures
     assert report.call_reduction >= 3.0, (
         f"decomposition only cut what-if calls by "
         f"{report.call_reduction:.2f}x (need >= 3x)")
+    parallel = report.legs["parallel"]
+    assert parallel.cold_start_seconds > 0.0
+    assert parallel.steady_wall_seconds > 0.0
+    assert parallel.parallel_batches >= 1
     assert report.parallel_speedup > 0.0  # the ratio is recorded
+    if report.params["speedup_enforced"]:
+        assert report.parallel_speedup >= 1.5, (
+            f"steady-state speedup {report.parallel_speedup:.2f}x "
+            f"< 1.5x at {WORKERS} workers on "
+            f"{available_cpus()} cpus")
 
 
 def _build_all(service, problems):
-    return {mix: build_cost_matrices(problem, service)
+    return {mix: service.exec_matrix(problem.segments,
+                                     problem.configurations)
             for mix, problem in problems.items()}
 
 
 def test_bench_matrices_undecomposed(benchmark, perf_db,
                                      perf_problems):
     def build():
-        return _build_all(
-            CostService(perf_db.what_if(), decompose=False),
-            perf_problems)
+        with CostService(perf_db.what_if(),
+                         decompose=False) as service:
+            return _build_all(service, perf_problems)
 
     matrices = benchmark(build)
     assert set(matrices) == set(perf_problems)
@@ -67,8 +82,27 @@ def test_bench_matrices_undecomposed(benchmark, perf_db,
 
 def test_bench_matrices_decomposed(benchmark, perf_db, perf_problems):
     def build():
-        return _build_all(CostService(perf_db.what_if()),
-                          perf_problems)
+        with CostService(perf_db.what_if()) as service:
+            return _build_all(service, perf_problems)
 
     matrices = benchmark(build)
     assert set(matrices) == set(perf_problems)
+
+
+def test_bench_matrices_parallel_steady(benchmark, perf_db,
+                                        perf_problems):
+    """Steady-state parallel builds: the pool is warmed once outside
+    the measured region, so the benchmark sees what a long-lived
+    service sees."""
+    from repro.bench.perf import perf_candidate_structures
+
+    service = CostService(perf_db.what_if(), n_workers=WORKERS)
+    service.warm_pool(structures=perf_candidate_structures())
+    try:
+        def build():
+            return _build_all(service, perf_problems)
+
+        matrices = benchmark(build)
+        assert set(matrices) == set(perf_problems)
+    finally:
+        service.close()

@@ -30,11 +30,20 @@ cache. :class:`CostService` centralizes that work behind the
 
 * **parallel matrix builds** — ``CostService(..., n_workers=N)``
   fans the signature-level estimates of a batch out over a process
-  pool (default serial). Templates are partitioned across workers,
-  each worker rebuilds a replica optimizer from the engine's catalog
-  snapshot, and the merge is index-keyed — estimates are
-  deterministic functions of ``(template, config, stats)``, so the
-  parallel matrix is bit-identical to the serial one.
+  pool (default serial). The worker protocol is built for fan-out
+  economics: the catalog snapshot *and* an integer-id registry of
+  every template and candidate structure ship once at pool init, so
+  per-item messages are bare ``(index, template_id, structure_ids)``
+  integer tuples (objects registered after pool creation ride along
+  as per-chunk deltas, each shipped at most once per chunk). Rows are
+  assigned to workers by deterministic least-loaded (LPT) chunking —
+  template skew can no longer pile most of a batch onto one worker —
+  and the merge is index-keyed: estimates are deterministic functions
+  of ``(template, config, stats)``, so the parallel matrix is
+  bit-identical to the serial one regardless of chunking or
+  completion order. Batches too small to amortize fan-out overhead
+  cut over to the serial path automatically (see
+  ``parallel_threshold``).
 
 * **instrumentation** — :class:`CostEstimationStats` counts what-if
   calls issued vs avoided, per-level cache hits (statement /
@@ -76,6 +85,7 @@ import numpy as np
 
 from ..errors import EstimationUnavailable
 from ..faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+from ..sqlengine.index import structure_sort_key
 from ..sqlengine.whatif import StatementTemplate, WhatIfOptimizer
 from ..workload.summary import CostUnit, atoms_of
 from .costmatrix import CostMatrices
@@ -115,6 +125,9 @@ class CostEstimationStats:
             ``unique_templates x configurations``).
         parallel_batches: batches whose pending estimates were fanned
             out over the process pool.
+        serial_cutover_batches: batches a parallel-capable service
+            resolved serially because the pending-item count was below
+            the fan-out threshold (adaptive serial cutover).
         exec_seconds / trans_seconds: wall time in EXEC / TRANS
             estimation (cache management included).
         estimate_faults: :class:`EstimationUnavailable` raised by the
@@ -146,6 +159,7 @@ class CostEstimationStats:
     unique_templates: int = 0
     unique_signatures: int = 0
     parallel_batches: int = 0
+    serial_cutover_batches: int = 0
     exec_seconds: float = 0.0
     trans_seconds: float = 0.0
     estimate_faults: int = 0
@@ -218,18 +232,34 @@ class CostService:
             The pool is created lazily and persists across batches;
             call :meth:`close` (or use the service as a context
             manager) to release it deterministically.
+        parallel_threshold: minimum pending-item count a batch needs
+            before it is fanned out; smaller batches resolve serially
+            (they could never amortize the dispatch overhead).
+            ``None`` (default) adapts: ``2 x n_workers`` items with a
+            warm pool, twice that when the pool would have to be
+            spun up first. The threshold only changes *where* an
+            estimate runs, never its value.
     """
+
+    #: Largest ``unique sqls x configurations`` batch whose entries
+    #: are copied into the L1 scalar cache. Bigger batches skip the
+    #: warm loop — scalar replays still resolve bit-equal through the
+    #: L2 template tier, without paying O(sqls x configs) dict
+    #: inserts inside every large matrix build.
+    _L1_WARM_CELL_CAP = 250_000
 
     def __init__(self, optimizer: WhatIfOptimizer,
                  selectivity_resolution: Optional[float] = None,
                  retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
                  decompose: bool = True,
-                 n_workers: Optional[int] = None):
+                 n_workers: Optional[int] = None,
+                 parallel_threshold: Optional[int] = None):
         self.optimizer = optimizer
         self.selectivity_resolution = selectivity_resolution
         self.retry_policy = retry_policy
         self.decompose = decompose
         self.n_workers = n_workers
+        self.parallel_threshold = parallel_threshold
         self.stats = CostEstimationStats()
         self._stats_epoch = optimizer.stats_epoch
         self._template_by_sql: Dict[str, StatementTemplate] = {}
@@ -259,6 +289,18 @@ class CostService:
         # Persistent process pool (satellite of the summary-IR work):
         # replicas are built once per pool lifetime, not per batch.
         self._pool = None
+        # Worker-protocol registries: templates and structures are
+        # interned to integer ids so per-item pool messages carry only
+        # integers. Entries below the watermarks shipped with the
+        # pool's initargs; later entries ride along as per-chunk
+        # deltas.
+        self._template_ids: Dict[Tuple, int] = {}
+        self._templates_by_id: List[StatementTemplate] = []
+        self._structure_ids: Dict[object, int] = {}
+        self._structures_by_id: List[object] = []
+        self._config_sids: Dict[Configuration, Tuple[int, ...]] = {}
+        self._pool_template_watermark = 0
+        self._pool_structure_watermark = 0
 
     def __enter__(self) -> "CostService":
         return self
@@ -398,12 +440,16 @@ class CostService:
 
         # Warm the L1 cache so later scalar calls are dict lookups —
         # except from degraded cells, which never enter exact caches.
-        for sql, row in sql_row.items():
-            for j, config in enumerate(configs):
-                if (row, j) in degraded_cells:
-                    continue
-                self._statement_units[(sql, config)] = float(
-                    units[row, j])
+        # Capped: at bench scale the warm loop is sqls x configs dict
+        # inserts of values the L2/L3 tiers already serve bit-equal,
+        # and it would dominate the parent-side wall of large batches.
+        if len(sql_row) * len(configs) <= self._L1_WARM_CELL_CAP:
+            for sql, row in sql_row.items():
+                for j, config in enumerate(configs):
+                    if (row, j) in degraded_cells:
+                        continue
+                    self._statement_units[(sql, config)] = float(
+                        units[row, j])
 
         matrix = np.zeros((len(segments), len(configs)),
                           dtype=np.float64)
@@ -491,6 +537,13 @@ class CostService:
         self._signature_units.clear()
         self._signature_of.clear()
         self._signature_keys.clear()
+        # Worker-protocol registries are epoch-scoped too: template
+        # keys fold selectivities under the retiring statistics.
+        self._template_ids.clear()
+        self._templates_by_id.clear()
+        self._structure_ids.clear()
+        self._structures_by_id.clear()
+        self._config_sids.clear()
 
     # ------------------------------------------------------------------
     # internals
@@ -662,15 +715,34 @@ class CostService:
         item, against the first configuration carrying the signature
         (any sharer yields the same bits — that is the decomposition
         invariant the verify harness checks)."""
-        if (self.n_workers and self.n_workers > 1 and len(items) > 1
-                and self.optimizer.fault_injector is None):
-            return self._parallel_pending(templates, configs, items)
+        parallel_capable = bool(
+            self.n_workers and self.n_workers > 1
+            and self.optimizer.fault_injector is None)
+        if parallel_capable:
+            if len(items) >= self._min_parallel_items():
+                return self._parallel_pending(templates, configs,
+                                              items)
+            # Adaptive serial cutover: the batch could never amortize
+            # dispatch (and possibly pool spin-up), so keep it local.
+            self.stats.serial_cutover_batches += 1
         values: List[float] = []
         for (r, _sig), cols in items:
             value, _degraded = self._issue_template(
                 templates[r], configs[cols[0]])
             values.append(value)
         return values
+
+    def _min_parallel_items(self) -> int:
+        """Pending items a batch needs before fan-out pays for
+        itself. An explicit ``parallel_threshold`` wins; otherwise
+        require two items per worker with a warm pool and twice that
+        when the pool would have to be spun up first."""
+        if self.parallel_threshold is not None:
+            return max(2, self.parallel_threshold)
+        floor = 2 * self.n_workers
+        if self._pool is None:
+            floor *= 2
+        return floor
 
     def _parallel_pending(self,
                           templates: Sequence[StatementTemplate],
@@ -681,48 +753,176 @@ class CostService:
         """Fan pending estimates out over the persistent process pool.
 
         Work is partitioned by template row (all signatures of one
-        template go to the same worker, rows assigned round-robin in
-        first-appearance order), each worker holds a replica optimizer
-        built from the engine's catalog snapshot, and results are
-        merged by item index — completion order never influences the
-        output, so the matrix is bit-identical to a serial build.
+        template go to the same worker, so replica analyze/geometry
+        caches stay hot), rows are assigned to the least-loaded chunk
+        by pending-item count (deterministic LPT — heaviest row
+        first, first-appearance order breaking ties), and per-item
+        messages are ``(index, template_id, structure_ids)`` integer
+        tuples resolved against the registries shipped at pool init.
+        Results merge by item index — completion order, chunking, and
+        worker count never influence the output, so the matrix is
+        bit-identical to a serial build.
 
         The pool is created lazily on the first parallel batch and
         reused for the service's lifetime (until :meth:`close` or a
         catalog invalidation) — replica construction used to dominate
         small batches when a fresh pool was spun up every call.
         """
-        n = min(self.n_workers, len(items))
-        chunks: List[List[Tuple[int, StatementTemplate, Tuple]]] = \
-            [[] for _ in range(n)]
-        row_worker: Dict[int, int] = {}
-        for index, ((r, _sig), cols) in enumerate(items):
-            worker = row_worker.get(r)
-            if worker is None:
-                worker = row_worker[r] = len(row_worker) % n
-            chunks[worker].append(
-                (index, templates[r], configs[cols[0]].structures))
+        chunks = self._partition_items(templates, configs, items)
+        pool = self._ensure_pool()
+        payloads = [self._chunk_payload(chunk) for chunk in chunks]
         values = [0.0] * len(items)
-        chunk_results = self._ensure_pool().map(
-            _estimate_chunk, [c for c in chunks if c])
-        for chunk_values in chunk_results:
+        for chunk_values in pool.map(_estimate_chunk, payloads):
             for index, value in chunk_values:
                 values[index] = value
         self.stats.whatif_calls += len(items)
         self.stats.parallel_batches += 1
         return values
 
+    # -- worker protocol -----------------------------------------------
+
+    def _template_id(self, template: StatementTemplate) -> int:
+        tid = self._template_ids.get(template.key)
+        if tid is None:
+            tid = len(self._templates_by_id)
+            self._template_ids[template.key] = tid
+            self._templates_by_id.append(template)
+        return tid
+
+    def _structure_id(self, definition) -> int:
+        sid = self._structure_ids.get(definition)
+        if sid is None:
+            sid = len(self._structures_by_id)
+            self._structure_ids[definition] = sid
+            self._structures_by_id.append(definition)
+        return sid
+
+    def _config_structure_ids(self, config: Configuration
+                              ) -> Tuple[int, ...]:
+        """The configuration's structures as registered integer ids
+        (sorted by structure key, so the tuple — and therefore the
+        wire message — is deterministic across runs)."""
+        sids = self._config_sids.get(config)
+        if sids is None:
+            sids = tuple(self._structure_id(definition)
+                         for definition in sorted(
+                             config.structures,
+                             key=structure_sort_key))
+            self._config_sids[config] = sids
+        return sids
+
+    @staticmethod
+    def _assign_rows(row_counts: Sequence[Tuple[int, int]],
+                     n: int) -> Dict[int, int]:
+        """Deterministic least-loaded assignment: rows (with their
+        pending-item counts, in first-appearance order) are placed
+        heaviest-first onto the chunk with the smallest current load,
+        lowest chunk index breaking ties. Replaces the round-robin
+        assignment that ignored per-row counts — under template skew
+        one worker could receive nearly the whole batch."""
+        rank = {row: position
+                for position, (row, _count) in enumerate(row_counts)}
+        loads = [0] * n
+        assignment: Dict[int, int] = {}
+        for row, count in sorted(row_counts,
+                                 key=lambda rc: (-rc[1], rank[rc[0]])):
+            worker = min(range(n), key=lambda w: (loads[w], w))
+            assignment[row] = worker
+            loads[worker] += count
+        return assignment
+
+    def _partition_items(self, templates, configs, items
+                         ) -> List[List[Tuple[int, int,
+                                              Tuple[int, ...]]]]:
+        """Reduce pending items to integer wire messages and group
+        them into per-worker chunks (least-loaded by row)."""
+        n = min(self.n_workers, len(items))
+        messages: List[Tuple[int, int, int, Tuple[int, ...]]] = []
+        counts: Dict[int, int] = {}
+        order: List[int] = []
+        for index, ((r, _sig), cols) in enumerate(items):
+            if r not in counts:
+                counts[r] = 0
+                order.append(r)
+            counts[r] += 1
+            messages.append(
+                (r, index, self._template_id(templates[r]),
+                 self._config_structure_ids(configs[cols[0]])))
+        assignment = self._assign_rows(
+            [(r, counts[r]) for r in order], n)
+        chunks: List[List[Tuple[int, int, Tuple[int, ...]]]] = \
+            [[] for _ in range(n)]
+        for r, index, tid, sids in messages:
+            chunks[assignment[r]].append((index, tid, sids))
+        return [chunk for chunk in chunks if chunk]
+
+    def _chunk_payload(self, chunk: Sequence[Tuple[int, int,
+                                                   Tuple[int, ...]]]):
+        """One worker message: ``(template_delta, structure_delta,
+        items)``. Deltas carry only registry entries created *after*
+        the pool shipped its init-time registries, each at most once
+        per chunk — steady state ships pure integers."""
+        template_delta: List[Tuple[int, StatementTemplate]] = []
+        structure_delta: List[Tuple[int, object]] = []
+        seen_templates: set = set()
+        seen_structures: set = set()
+        for _index, tid, sids in chunk:
+            if tid >= self._pool_template_watermark and \
+                    tid not in seen_templates:
+                seen_templates.add(tid)
+                template_delta.append(
+                    (tid, self._templates_by_id[tid]))
+            for sid in sids:
+                if sid >= self._pool_structure_watermark and \
+                        sid not in seen_structures:
+                    seen_structures.add(sid)
+                    structure_delta.append(
+                        (sid, self._structures_by_id[sid]))
+        return (template_delta, structure_delta, list(chunk))
+
+    def _pool_initargs(self):
+        """Initializer arguments for a new pool: the catalog snapshot
+        plus everything registered so far (and advance the watermarks
+        — later registrations ship as per-chunk deltas)."""
+        self._pool_template_watermark = len(self._templates_by_id)
+        self._pool_structure_watermark = len(self._structures_by_id)
+        return (self.optimizer.catalog_snapshot(),
+                list(self._templates_by_id),
+                list(self._structures_by_id))
+
     def _ensure_pool(self):
         """The persistent worker pool, created on first use from the
-        current catalog snapshot."""
+        current catalog snapshot and registries."""
         if self._pool is None:
             from concurrent.futures import ProcessPoolExecutor
 
-            schemas, stats, params = self.optimizer.catalog_snapshot()
             self._pool = ProcessPoolExecutor(
                 max_workers=self.n_workers, initializer=_init_replica,
-                initargs=(schemas, stats, params))
+                initargs=self._pool_initargs())
         return self._pool
+
+    def warm_pool(self, structures: Sequence = ()) -> float:
+        """Spawn and initialize every worker now instead of lazily on
+        the first parallel batch; returns the wall seconds spent
+        (pool cold-start). Benchmarks call this to keep one-time pool
+        spin-up out of steady-state measurements. A no-op (0.0) for
+        serial services or an already-warm pool.
+
+        Args:
+            structures: candidate structures to register *before* the
+                pool ships its init-time registry — known candidates
+                then never travel as per-chunk deltas.
+        """
+        if not (self.n_workers and self.n_workers > 1):
+            return 0.0
+        start = time.perf_counter()
+        for definition in structures:
+            self._structure_id(definition)
+        pool = self._ensure_pool()
+        # One trivial task per worker forces every process to spawn
+        # and run its initializer (replica build) now.
+        list(pool.map(_replica_ready, range(self.n_workers)))
+        return time.perf_counter() - start
 
 
 # ----------------------------------------------------------------------
@@ -730,18 +930,39 @@ class CostService:
 # ----------------------------------------------------------------------
 
 _REPLICA: Optional[WhatIfOptimizer] = None
+_TEMPLATE_REGISTRY: Dict[int, StatementTemplate] = {}
+_STRUCTURE_REGISTRY: Dict[int, object] = {}
 
 
-def _init_replica(schemas, stats, params) -> None:
+def _init_replica(snapshot, templates, structures) -> None:
     """Pool initializer: build this worker's replica optimizer from
-    the parent engine's catalog snapshot."""
+    the parent engine's catalog snapshot and intern the init-time
+    template/structure registries."""
     global _REPLICA
-    _REPLICA = WhatIfOptimizer(schemas, stats, params)
+    _REPLICA = WhatIfOptimizer.from_snapshot(snapshot)
+    _TEMPLATE_REGISTRY.clear()
+    _TEMPLATE_REGISTRY.update(enumerate(templates))
+    _STRUCTURE_REGISTRY.clear()
+    _STRUCTURE_REGISTRY.update(enumerate(structures))
 
 
-def _estimate_chunk(chunk):
-    """Estimate one worker's (index, template, structures) chunk;
+def _replica_ready(_slot: int) -> bool:
+    """Warm-up probe: true once this worker's replica exists."""
+    return _REPLICA is not None
+
+
+def _estimate_chunk(payload):
+    """Estimate one worker's chunk of ``(index, template_id,
+    structure_ids)`` messages (after merging any registry deltas);
     returns (index, units) pairs for the index-keyed merge."""
-    return [(index, _REPLICA.estimate_template(template,
-                                               structures).units)
-            for index, template, structures in chunk]
+    template_delta, structure_delta, items = payload
+    _TEMPLATE_REGISTRY.update(template_delta)
+    _STRUCTURE_REGISTRY.update(structure_delta)
+    results = []
+    for index, tid, sids in items:
+        template = _TEMPLATE_REGISTRY[tid]
+        config = [_STRUCTURE_REGISTRY[sid] for sid in sids]
+        results.append(
+            (index, _REPLICA.estimate_template(template,
+                                               config).units))
+    return results

@@ -47,6 +47,24 @@ from .stats import TableStats
 
 
 @dataclass(frozen=True)
+class CatalogSnapshot:
+    """Everything a replica :class:`WhatIfOptimizer` needs.
+
+    Parallel matrix builds ship one snapshot per worker-pool
+    *lifetime* (not per batch): schemas, statistics, cost params, and
+    the stats epoch the snapshot was taken under. Replicas are
+    deterministic in the snapshot, so worker estimates are
+    bit-identical to the parent optimizer's for as long as the epoch
+    matches — the cost service tears the pool down on epoch bumps.
+    """
+
+    schemas: Mapping[str, TableSchema]
+    stats: Mapping[str, TableStats]
+    params: CostParams
+    stats_epoch: int
+
+
+@dataclass(frozen=True)
 class PlanEstimate:
     """Outcome of a what-if costing call.
 
@@ -234,13 +252,26 @@ class WhatIfOptimizer:
         raise SqlUnsupportedError(
             f"what-if costing does not support {type(stmt).__name__}")
 
-    def catalog_snapshot(self):
-        """``(schemas, stats, params)`` — everything a replica
-        optimizer needs. Parallel matrix builds ship this to worker
-        processes and rebuild a :class:`WhatIfOptimizer` there; the
-        replica is deterministic in the snapshot, so worker estimates
-        are bit-identical to this optimizer's."""
-        return dict(self._schemas), dict(self._stats), self.params
+    def catalog_snapshot(self) -> CatalogSnapshot:
+        """This optimizer's :class:`CatalogSnapshot`. Parallel matrix
+        builds ship it to worker processes once per pool lifetime and
+        rebuild a replica there (:meth:`from_snapshot`); the replica
+        is deterministic in the snapshot, so worker estimates are
+        bit-identical to this optimizer's."""
+        return CatalogSnapshot(schemas=dict(self._schemas),
+                               stats=dict(self._stats),
+                               params=self.params,
+                               stats_epoch=self.stats_epoch)
+
+    @classmethod
+    def from_snapshot(cls, snapshot: CatalogSnapshot
+                      ) -> "WhatIfOptimizer":
+        """Rebuild a replica optimizer from a snapshot (pool-worker
+        initialization)."""
+        replica = cls(snapshot.schemas, snapshot.stats,
+                      snapshot.params)
+        replica.stats_epoch = snapshot.stats_epoch
+        return replica
 
     def _select_signature(self, stmt: SelectStmt,
                           resolution: Optional[float]) -> Tuple:

@@ -318,13 +318,21 @@ def check_cost_service(instance: TraceInstance,
         "relevance-signature decomposition saved zero what-if calls "
         f"({decomposed.stats.whatif_calls} vs "
         f"{undecomposed.stats.whatif_calls} undecomposed)")
-    parallel = CostService(optimizer, n_workers=2)
+    # parallel_threshold=2 defeats the adaptive serial cutover so the
+    # small verify instances genuinely exercise the process pool and
+    # its integer-id worker protocol.
+    parallel = CostService(optimizer, n_workers=2,
+                           parallel_threshold=2)
     parallel_exec = parallel.exec_matrix(segments, configs)
     result.check(
         np.array_equal(parallel_exec, batch_exec), label,
         "parallel (n_workers=2) EXEC matrix differs from the serial "
         "build (max abs diff "
         f"{np.max(np.abs(parallel_exec - batch_exec))!r})")
+    result.check(
+        parallel.stats.parallel_batches >= 1, label,
+        "parallel service resolved every batch serially (cutover "
+        "fired despite parallel_threshold=2)")
 
     # Epoch invalidation: bumping the optimizer's stats epoch must
     # drop the caches (new what-if calls are issued) without changing
@@ -342,6 +350,22 @@ def check_cost_service(instance: TraceInstance,
         np.array_equal(rebuilt, batch_exec), label,
         "EXEC matrix rebuilt after an identical-stats epoch bump "
         "differs from the original")
+
+    # Pool lifecycle across invalidation: the parallel service saw
+    # the same epoch bump, so its next batch must tear down the old
+    # pool, rebuild worker replicas (and registries) from the fresh
+    # snapshot, and still match the serial rebuild bit for bit.
+    stale_pool = parallel._pool
+    parallel_rebuilt = parallel.exec_matrix(segments, configs)
+    result.check(
+        parallel._pool is not stale_pool, label,
+        "parallel service reused its stale-replica worker pool "
+        "across a stats-epoch bump")
+    result.check(
+        np.array_equal(parallel_rebuilt, rebuilt), label,
+        "parallel EXEC matrix rebuilt after the epoch bump differs "
+        "from the serial rebuild (stale worker snapshot?)")
+    parallel.close()
 
 
 # ----------------------------------------------------------------------

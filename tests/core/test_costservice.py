@@ -6,6 +6,8 @@ matrix entry — the batched service must be bit-identical to the serial
 ``WhatIfCostProvider`` path on every paper workload.
 """
 
+import pickle
+
 import numpy as np
 import pytest
 
@@ -16,7 +18,7 @@ from repro.core import (Configuration, ConstrainedGraphAdvisor,
                         build_cost_matrices, single_index_configurations,
                         supports_batching, sweep_k, validated_k)
 from repro.core.online import OnlineTuner
-from repro.sqlengine import IndexDef
+from repro.sqlengine import Database, IndexDef
 from repro.workload import (Segment, Statement, jitter_blocks,
                             make_paper_workload, paper_generator,
                             segment_by_count)
@@ -555,3 +557,259 @@ class TestPersistentPool:
             assert service._pool is not stale
         finally:
             service.close()
+
+    def test_refreshed_stats_reach_new_replicas(self, fresh_db):
+        """Pool lifecycle across a real catalog change: after
+        ``refresh_stats`` with *different* statistics, the rebuilt
+        pool's replicas must estimate against the new catalog — no
+        stale-snapshot answers — and stay bit-identical to a serial
+        service over the same refreshed optimizer."""
+        db2 = Database()
+        db2.create_table("t", [("a", "INTEGER"), ("b", "INTEGER"),
+                               ("c", "INTEGER"), ("d", "INTEGER")])
+        rng = np.random.default_rng(11)
+        db2.bulk_load("t", {column: rng.integers(0, 1_000, 4_000)
+                            for column in ("a", "b", "c", "d")})
+
+        statements = [Statement(f"SELECT a FROM t WHERE a < {b}")
+                      for b in (100, 300, 500)]
+        segments = (Segment(tuple(statements), 0),)
+        configs = (EMPTY_CONFIGURATION,
+                   Configuration({IndexDef("t", ("a",))}))
+
+        service = CostService(fresh_db.what_if(), n_workers=2,
+                              parallel_threshold=2)
+        try:
+            before = service.exec_matrix(segments, configs)
+            assert service.stats.parallel_batches >= 1
+            service.optimizer.refresh_stats({"t": db2.stats("t")})
+            after = service.exec_matrix(segments, configs)
+            assert service.stats.parallel_batches >= 2
+        finally:
+            service.close()
+
+        reference_opt = fresh_db.what_if()
+        reference_opt.refresh_stats({"t": db2.stats("t")})
+        reference = CostService(reference_opt).exec_matrix(segments,
+                                                           configs)
+        assert np.array_equal(after, reference)
+        # 4k rows versus 2k: a stale replica snapshot would have
+        # reproduced the old costs.
+        assert not np.array_equal(after, before)
+
+
+class RecordingPool:
+    """In-process stand-in for the worker pool: records every payload
+    and runs the real module-level worker function on it."""
+
+    def __init__(self):
+        self.payloads = []
+
+    def map(self, func, payloads):
+        payloads = list(payloads)
+        self.payloads.extend(payloads)
+        return [func(payload) for payload in payloads]
+
+    def shutdown(self, wait=True):
+        pass
+
+
+def _recording_service(db, monkeypatch):
+    """A parallel CostService whose pool is an in-process recorder —
+    same initializer, same worker function, observable wire format."""
+    from repro.core import costservice as cs
+
+    service = CostService(db.what_if(), n_workers=2,
+                          parallel_threshold=2)
+    pool = RecordingPool()
+
+    def fake_ensure_pool():
+        if service._pool is None:
+            cs._init_replica(*service._pool_initargs())
+            service._pool = pool
+        return service._pool
+
+    monkeypatch.setattr(service, "_ensure_pool", fake_ensure_pool)
+    return service, pool
+
+
+class TestWorkerProtocol:
+    """Satellite: per-item wire messages are integer triples resolved
+    against registries shipped once at pool init — the payload-bloat
+    regression (pickling templates per item) must not come back."""
+
+    def test_items_are_integer_triples(self, small_db, small_problem,
+                                       monkeypatch):
+        service, pool = _recording_service(small_db, monkeypatch)
+        matrix = service.exec_matrix(small_problem.segments,
+                                     small_problem.configurations)
+        assert pool.payloads
+        for template_delta, structure_delta, items in pool.payloads:
+            for index, tid, sids in items:
+                assert isinstance(index, int)
+                assert isinstance(tid, int)
+                assert isinstance(sids, tuple)
+                assert all(isinstance(sid, int) for sid in sids)
+        serial = CostService(small_db.what_if()).exec_matrix(
+            small_problem.segments, small_problem.configurations)
+        assert np.array_equal(matrix, serial)
+
+    def test_first_batch_ships_no_deltas(self, small_db,
+                                         small_problem, monkeypatch):
+        """Partitioning registers ids *before* the lazy pool ships its
+        init registries, so the first batch travels as pure ints."""
+        service, pool = _recording_service(small_db, monkeypatch)
+        service.exec_matrix(small_problem.segments,
+                            small_problem.configurations)
+        for template_delta, structure_delta, _items in pool.payloads:
+            assert template_delta == []
+            assert structure_delta == []
+
+    def test_late_templates_travel_as_deltas(self, small_db,
+                                             paper_candidates,
+                                             monkeypatch):
+        service, pool = _recording_service(small_db, monkeypatch)
+        configs = single_index_configurations(paper_candidates)
+
+        def segments(bounds):
+            return (Segment(tuple(
+                Statement(f"SELECT a FROM t WHERE a < {b}")
+                for b in bounds), 0),)
+
+        first = segments([1_000, 2_000, 3_000])
+        service.exec_matrix(first, configs)
+        pool.payloads.clear()
+        # New range bounds = new templates, registered after the pool
+        # shipped its init registries: they must ride along as deltas.
+        second = segments([100_000, 200_000, 300_000])
+        matrix = service.exec_matrix(second, configs)
+        shipped = [tid for payload in pool.payloads
+                   for tid, _template in payload[0]]
+        assert shipped
+        assert all(tid >= service._pool_template_watermark
+                   for tid in shipped)
+        serial = CostService(small_db.what_if()).exec_matrix(
+            second, configs)
+        assert np.array_equal(matrix, serial)
+
+    def test_payload_bytes_per_item_bounded(self, small_db,
+                                            small_problem,
+                                            monkeypatch):
+        """Regression pin: steady-state wire cost stays a few dozen
+        bytes per pending item — far below one pickled template."""
+        service, pool = _recording_service(small_db, monkeypatch)
+        service.exec_matrix(small_problem.segments,
+                            small_problem.configurations)
+        n_items = sum(len(items) for _t, _s, items in pool.payloads)
+        total_bytes = sum(len(pickle.dumps(payload))
+                          for payload in pool.payloads)
+        per_item = total_bytes / n_items
+        assert per_item <= 120, f"{per_item:.0f} bytes/item"
+        one_template = len(pickle.dumps(service._templates_by_id[0]))
+        assert per_item < one_template
+
+
+class TestChunkAssignment:
+    """Satellite: deterministic least-loaded (LPT) row assignment."""
+
+    def test_skewed_counts_balance(self):
+        # One row carries 10 of 16 items; round-robin by row would
+        # put 10 + every other even-indexed row on worker 0.
+        counts = [(0, 10)] + [(r, 1) for r in range(1, 7)]
+        assignment = CostService._assign_rows(counts, 2)
+        loads = [0, 0]
+        for row, count in counts:
+            loads[assignment[row]] += count
+        assert sorted(loads) == [6, 10]
+        assert assignment[0] == 0
+        assert all(assignment[r] == 1 for r in range(1, 7))
+
+    def test_equal_counts_spread_evenly(self):
+        counts = [(r, 1) for r in range(4)]
+        assignment = CostService._assign_rows(counts, 2)
+        loads = [0, 0]
+        for row, count in counts:
+            loads[assignment[row]] += count
+        assert loads == [2, 2]
+
+    def test_assignment_is_deterministic(self):
+        counts = [(3, 5), (1, 5), (7, 2), (2, 9), (9, 1)]
+        first = CostService._assign_rows(counts, 3)
+        second = CostService._assign_rows(counts, 3)
+        assert first == second
+        # Ties (3 and 1 both weigh 5) break by first appearance.
+        assert first[3] != first[1]
+
+    def test_chunks_balanced_end_to_end(self, small_db, monkeypatch,
+                                        paper_candidates):
+        """A template-skewed batch must not land on one worker."""
+        service, pool = _recording_service(small_db, monkeypatch)
+        configs = single_index_configurations(paper_candidates)
+        statements = [Statement(f"SELECT a FROM t WHERE a < {b}")
+                      for b in range(1_000, 9_000, 1_000)]
+        segments = tuple(Segment((statement,), i)
+                         for i, statement in enumerate(statements))
+        service.exec_matrix(segments, configs)
+        sizes = sorted(len(items)
+                       for _t, _s, items in pool.payloads)
+        assert len(sizes) == 2
+        # Least-loaded assignment keeps the spread within one row's
+        # worth of items.
+        per_row = max(sizes) + min(sizes)
+        assert max(sizes) - min(sizes) <= per_row // len(segments) + 1
+
+
+class TestAdaptiveCutover:
+    """Satellite: batches too small to amortize dispatch stay local."""
+
+    def _tiny(self):
+        segments = (Segment(
+            (Statement("SELECT a FROM t WHERE a = 1"),), 0),)
+        configs = (EMPTY_CONFIGURATION,
+                   Configuration({IndexDef("t", ("a",))}))
+        return segments, configs
+
+    def test_small_batch_stays_serial(self, small_db):
+        segments, configs = self._tiny()
+        service = CostService(small_db.what_if(), n_workers=2)
+        try:
+            service.exec_matrix(segments, configs)
+            assert service.stats.serial_cutover_batches == 1
+            assert service.stats.parallel_batches == 0
+            assert service._pool is None
+        finally:
+            service.close()
+
+    def test_explicit_threshold_forces_fanout(self, small_db):
+        segments, configs = self._tiny()
+        service = CostService(small_db.what_if(), n_workers=2,
+                              parallel_threshold=2)
+        try:
+            service.exec_matrix(segments, configs)
+            assert service.stats.parallel_batches == 1
+            assert service.stats.serial_cutover_batches == 0
+        finally:
+            service.close()
+
+    def test_cutover_matches_serial_bits(self, small_db):
+        segments, configs = self._tiny()
+        with CostService(small_db.what_if(), n_workers=2) as service:
+            matrix = service.exec_matrix(segments, configs)
+        serial = CostService(small_db.what_if()).exec_matrix(
+            segments, configs)
+        assert np.array_equal(matrix, serial)
+
+    def test_warm_pool_lowers_floor(self, small_db):
+        service = CostService(small_db.what_if(), n_workers=2)
+        try:
+            assert service._min_parallel_items() == 8  # cold: 4x
+            cold = service.warm_pool()
+            assert cold > 0.0
+            assert service._min_parallel_items() == 4  # warm: 2x
+        finally:
+            service.close()
+
+    def test_warm_pool_is_serial_noop(self, small_db):
+        service = CostService(small_db.what_if())
+        assert service.warm_pool() == 0.0
+        assert service._pool is None

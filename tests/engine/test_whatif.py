@@ -224,8 +224,8 @@ class TestRelevanceSignatures:
 class TestCatalogSnapshot:
     def test_replica_estimates_bit_identical(self, what_if):
         from repro.sqlengine.whatif import WhatIfOptimizer
-        schemas, stats, params = what_if.catalog_snapshot()
-        replica = WhatIfOptimizer(schemas, stats, params)
+        replica = WhatIfOptimizer.from_snapshot(
+            what_if.catalog_snapshot())
         for sql in ("SELECT a FROM t WHERE a = 5",
                     "SELECT c FROM t WHERE c BETWEEN 5 AND 500",
                     "SELECT b FROM t"):
@@ -233,3 +233,13 @@ class TestCatalogSnapshot:
             for config in (frozenset(), {A}, {A, AB}):
                 assert replica.estimate_statement(stmt, config).units \
                     == what_if.estimate_statement(stmt, config).units
+
+    def test_snapshot_carries_stats_epoch(self, what_if):
+        from repro.sqlengine.whatif import WhatIfOptimizer
+        before = what_if.catalog_snapshot()
+        assert before.stats_epoch == what_if.stats_epoch
+        what_if.refresh_stats(dict(what_if._stats))
+        after = what_if.catalog_snapshot()
+        assert after.stats_epoch == before.stats_epoch + 1
+        replica = WhatIfOptimizer.from_snapshot(after)
+        assert replica.stats_epoch == what_if.stats_epoch

@@ -300,3 +300,11 @@ class TestPerfCommand:
         report = json.loads(out.read_text())
         assert "parallel" in report["legs"]
         assert report["parallel_speedup"] > 0.0
+        parallel = report["legs"]["parallel"]
+        assert parallel["cold_start_seconds"] > 0.0
+        assert parallel["steady_wall_seconds"] > 0.0
+        assert parallel["parallel_batches"] >= 1
+        assert report["params"]["speedup_floor"] == 1.5
+        # 2 workers never enforce the floor, so quick runs stay green
+        # on single-core hosts.
+        assert report["params"]["speedup_enforced"] is False
