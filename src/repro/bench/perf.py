@@ -7,9 +7,10 @@ enough that parallelism has real work to eat: every mix workload is
 enriched with a deterministic set of template-diverse statements
 (range scans at several widths per column, ordered scans, two-column
 probes — dozens of distinct templates), and the candidate space holds
-20 structures (single-column indexes, every two-column composite,
-four projection views), all configurations of at most two structures
-(211 configurations).
+44 structures (single-column indexes at every compression level,
+two-column composites uncompressed and HEAVY, projection views
+uncompressed and LIGHT), all configurations of at most two structures
+(991 configurations).
 
 Three legs build the EXEC matrices for every mix (plus a TRANS
 identity sample) through one :class:`~repro.core.costservice.
@@ -55,7 +56,7 @@ import numpy as np
 
 from ..core.costservice import CostService
 from ..core.problem import ProblemInstance, enumerate_configurations
-from ..core.structures import EMPTY_CONFIGURATION
+from ..core.structures import Compression, EMPTY_CONFIGURATION
 from ..sqlengine.database import Database
 from ..sqlengine.index import IndexDef
 from ..sqlengine.views import ViewDef
@@ -79,16 +80,25 @@ _PERF_SPANS = (2_000, 6_000, 18_000, 54_000, 160_000, 480_000)
 
 def perf_candidate_structures(table: str = "t") -> List:
     """The benchmark's candidate space: the four single-column
-    indexes, every ordered two-column composite, and four projection
-    views — 20 structures, 211 configurations of at most two. Views
-    share relevance signatures with composites on the same columns,
-    so the space exercises both structure kinds in one signature."""
+    indexes at every compression level, every ordered two-column
+    composite (uncompressed and HEAVY), and four projection views
+    (uncompressed and LIGHT) — 44 structures, 991 configurations of
+    at most two. Views share relevance signatures with composites on
+    the same columns, so the space exercises both structure kinds in
+    one signature; the compressed variants are *distinct* candidates
+    (distinct geometry, distinct signatures), which is exactly the
+    cache-conflation surface the decomposed leg's bit-identity check
+    guards."""
     columns = ("a", "b", "c", "d")
-    singles = [IndexDef(table, (c,)) for c in columns]
-    composites = [IndexDef(table, (x, y))
-                  for x in columns for y in columns if x != y]
-    views = [ViewDef(table, ("a", "b")), ViewDef(table, ("b", "c")),
-             ViewDef(table, ("c", "d")), ViewDef(table, ("a", "d"))]
+    singles = [IndexDef(table, (c,), level) for c in columns
+               for level in (Compression.NONE, Compression.LIGHT,
+                             Compression.HEAVY)]
+    composites = [IndexDef(table, (x, y), level)
+                  for x in columns for y in columns if x != y
+                  for level in (Compression.NONE, Compression.HEAVY)]
+    view_columns = (("a", "b"), ("b", "c"), ("c", "d"), ("a", "d"))
+    views = [ViewDef(table, cols, level) for cols in view_columns
+             for level in (Compression.NONE, Compression.LIGHT)]
     return singles + composites + views
 
 

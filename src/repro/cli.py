@@ -16,6 +16,13 @@ Commands:
   against a synthesized table, optionally under a hypothetical
   configuration of indexes/views (the what-if catalog substitution
   the advisor relies on).
+* ``deploy`` — schedule and execute a transition as an ordered
+  deployment: given a target configuration (``--index``/``--view``
+  specs, each optionally compressed with an ``@L``/``@H`` suffix) and
+  a concurrent workload trace, pick the create/drop order minimizing
+  TRANS plus the workload's cost under every intermediate design,
+  print the schedule, then run it through the crash-safe catalog
+  operations.
 * ``experiment`` — regenerate a table/figure of the paper.
 * ``verify`` — the differential verification harness: cross-check the
   solver implementations against each other, the constrained-solver
@@ -72,7 +79,8 @@ from .core.advisor import (ConstrainedGraphAdvisor, GreedySeqAdvisor,
 from .core.costmatrix import build_cost_matrices
 from .core.costservice import CostService
 from .core.problem import ProblemInstance, problem_from_summary
-from .core.structures import (EMPTY_CONFIGURATION,
+from .core.structures import (Compression, Configuration,
+                              EMPTY_CONFIGURATION, compressed_variants,
                               single_index_configurations)
 from .errors import ReproError
 from .sqlengine.database import Database
@@ -153,6 +161,10 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="stream the trace into a compressed "
                                 "workload summary (bounded memory) "
                                 "and advise on the atom formulation")
+    recommend.add_argument("--compression", action="store_true",
+                           help="enlarge the candidate space with "
+                                "LIGHT/HEAVY compressed variants of "
+                                "every candidate index")
     recommend.set_defaults(handler=_cmd_recommend)
 
     costs = sub.add_parser(
@@ -177,6 +189,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="stream the trace into a compressed "
                             "workload summary and cost the atom "
                             "formulation")
+    costs.add_argument("--compression", action="store_true",
+                       help="enlarge the candidate space with "
+                            "LIGHT/HEAVY compressed variants of "
+                            "every candidate index")
     costs.set_defaults(handler=_cmd_costs)
 
     explain = sub.add_parser(
@@ -185,18 +201,60 @@ def _build_parser() -> argparse.ArgumentParser:
                         "index/view configuration)")
     explain.add_argument("sql", help="the SELECT statement")
     explain.add_argument("--index", action="append", default=[],
-                         metavar="COLS",
+                         metavar="COLS[@LEVEL]",
                          help="hypothetical index key columns, comma-"
-                              "separated (repeatable)")
+                              "separated, with an optional "
+                              "compression suffix @L/@H (repeatable)")
     explain.add_argument("--view", action="append", default=[],
-                         metavar="COLS",
+                         metavar="COLS[@LEVEL]",
                          help="hypothetical projection-view columns, "
-                              "comma-separated (repeatable)")
+                              "comma-separated (repeatable; same "
+                              "@L/@H suffix)")
     explain.add_argument("--rows", type=int, default=5_000,
                          help="rows in the synthesized table "
                               "(default 5000)")
     explain.add_argument("--seed", type=int, default=0)
     explain.set_defaults(handler=_cmd_explain)
+
+    deploy = sub.add_parser(
+        "deploy", help="schedule a transition as an ordered "
+                       "deployment against a concurrent workload "
+                       "trace and execute it")
+    deploy.add_argument("--trace", required=True,
+                        help="the workload running concurrently with "
+                             "the deployment")
+    deploy.add_argument("--block-size", type=int, default=100,
+                        help="statements of the trace's head used as "
+                             "the concurrent segment (default 100)")
+    deploy.add_argument("--index", action="append", default=[],
+                        metavar="COLS[@LEVEL]",
+                        help="target index key columns, comma-"
+                             "separated, with an optional compression "
+                             "suffix @L/@H (repeatable)")
+    deploy.add_argument("--view", action="append", default=[],
+                        metavar="COLS[@LEVEL]",
+                        help="target projection-view columns "
+                             "(repeatable; same @L/@H suffix)")
+    deploy.add_argument("--from-index", action="append", default=[],
+                        metavar="COLS[@LEVEL]",
+                        help="pre-materialized source index the "
+                             "deployment starts from (repeatable)")
+    deploy.add_argument("--from-view", action="append", default=[],
+                        metavar="COLS[@LEVEL]",
+                        help="pre-materialized source view "
+                             "(repeatable)")
+    deploy.add_argument("--space-bound", type=int, default=None,
+                        metavar="BYTES",
+                        help="every intermediate configuration must "
+                             "fit in this many bytes")
+    deploy.add_argument("--exact-limit", type=int, default=None,
+                        help="largest action count for the exact "
+                             "subset-DP scheduler (default 10)")
+    deploy.add_argument("--dry-run", action="store_true",
+                        help="print the schedule without executing it")
+    deploy.add_argument("--rows", type=int, default=100_000)
+    deploy.add_argument("--seed", type=int, default=0)
+    deploy.set_defaults(handler=_cmd_deploy)
 
     experiment = sub.add_parser(
         "experiment", help="regenerate a table/figure of the paper")
@@ -381,6 +439,8 @@ def _cmd_recommend(args) -> int:
         args, need_k=args.advisor != "unconstrained")
     db, table = _synthesize_database(pairs, args.rows, args.seed)
     candidates = _candidate_indexes(pairs, table)
+    if args.compression:
+        candidates = list(compressed_variants(candidates))
     print(f"candidate indexes: "
           f"{', '.join(d.label for d in candidates)}")
     problem = make_problem(single_index_configurations(candidates), k)
@@ -407,6 +467,8 @@ def _cmd_costs(args) -> int:
     pairs, k, make_problem = _trace_problem(args, need_k=True)
     db, table = _synthesize_database(pairs, args.rows, args.seed)
     candidates = _candidate_indexes(pairs, table)
+    if args.compression:
+        candidates = list(compressed_variants(candidates))
     problem = make_problem(single_index_configurations(candidates), k)
     service = CostService(db.what_if())
 
@@ -493,12 +555,7 @@ def _cmd_explain(args) -> int:
                 lo, hi = spans.get(predicate.column, (value, value))
                 spans[predicate.column] = (min(lo, value),
                                            max(hi, value))
-    config = [IndexDef(stmt.table,
-                       tuple(c.strip() for c in spec.split(",")))
-              for spec in args.index]
-    config.extend(ViewDef(stmt.table,
-                          tuple(c.strip() for c in spec.split(",")))
-                  for spec in args.view)
+    config = _parse_structures(args.index, args.view, stmt.table)
     # Hypothetical structures may key columns the statement never
     # names; the synthesized table must still store them.
     for structure in config:
@@ -529,6 +586,48 @@ def _cmd_explain(args) -> int:
     else:
         print(db.explain(stmt))
     return 0
+
+
+def _cmd_deploy(args) -> int:
+    from .core.deployment import (DEFAULT_EXACT_LIMIT,
+                                  execute_deployment,
+                                  schedule_deployment)
+    workload = load_trace(args.trace)
+    pairs = [(statement, 1) for statement in workload]
+    segment = next(iter(segment_by_count(workload, args.block_size)))
+    if not (args.index or args.view):
+        print("error: deploy needs a target (--index/--view)",
+              file=sys.stderr)
+        return 2
+    db, table = _synthesize_database(
+        pairs, args.rows, args.seed,
+        extra_columns=_spec_columns(args.index + args.view +
+                                    args.from_index + args.from_view))
+    source = Configuration(frozenset(
+        _parse_structures(args.from_index, args.from_view, table)))
+    target = Configuration(frozenset(
+        _parse_structures(args.index, args.view, table)))
+    if source.structures:
+        db.apply_configuration(source.structures)
+        print(f"materialized source design {source.label}")
+    service = CostService(db.what_if())
+    plan = schedule_deployment(
+        service, source, target, segment,
+        exact_limit=(DEFAULT_EXACT_LIMIT if args.exact_limit is None
+                     else args.exact_limit),
+        space_bound_bytes=args.space_bound)
+    print(f"concurrent segment: {len(segment.statements)} statements "
+          f"from {args.trace}")
+    print(plan.describe())
+    if args.dry_run:
+        return 0
+    report = db.deploy(plan)
+    landed = Configuration(db.current_configuration())
+    print(f"executed {len(report.executed)} steps "
+          f"({len(report.skipped)} already materialized), "
+          f"metered {report.metered.total(db.params):.2f} units; "
+          f"now at {landed.label}")
+    return 0 if landed == target else 1
 
 
 def _cmd_experiment(args) -> int:
@@ -605,11 +704,14 @@ def _cmd_scale(args) -> int:
 
 def _synthesize_database(
         pairs: Sequence[Tuple[Statement, int]], nrows: int,
-        seed: int) -> Tuple[Database, str]:
+        seed: int,
+        extra_columns: Sequence[str] = ()) -> Tuple[Database, str]:
     """Build a table matching the trace: its name, its integer
     columns, and uniform data spanning each column's observed
     constants. ``pairs`` are weighted statements — a raw trace with
-    unit weights, or the atoms of a workload summary."""
+    unit weights, or the atoms of a workload summary.
+    ``extra_columns`` are stored even when the trace never queries
+    them (structures may key columns the workload does not touch)."""
     table: Optional[str] = None
     spans: Dict[str, Tuple[int, int]] = {}
     for statement, _weight in pairs:
@@ -629,6 +731,9 @@ def _synthesize_database(
     if table is None or not spans:
         raise ReproError(
             "the trace contains no analyzable point queries")
+    from .workload.mixes import PAPER_VALUE_RANGE
+    for column in extra_columns:
+        spans.setdefault(column, PAPER_VALUE_RANGE)
     db = Database()
     db.create_table(table, [(c, "INTEGER") for c in sorted(spans)])
     rng = np.random.default_rng(seed)
@@ -638,6 +743,36 @@ def _synthesize_database(
     print(f"synthesized table {table!r}: {nrows} rows, columns "
           f"{sorted(spans)}")
     return db, table
+
+
+def _parse_spec(spec: str) -> Tuple[Tuple[str, ...], Compression]:
+    """Split a ``COLS[@LEVEL]`` structure spec, e.g. ``a,b@H`` ->
+    ``(("a", "b"), Compression.HEAVY)``."""
+    body, _, level = spec.partition("@")
+    columns = tuple(c.strip() for c in body.split(",") if c.strip())
+    compression = Compression.parse(level) if level \
+        else Compression.NONE
+    return columns, compression
+
+
+def _spec_columns(specs: Sequence[str]) -> List[str]:
+    """Every column any ``COLS[@LEVEL]`` spec names."""
+    columns: List[str] = []
+    for spec in specs:
+        columns.extend(_parse_spec(spec)[0])
+    return columns
+
+
+def _parse_structures(index_specs: Sequence[str],
+                      view_specs: Sequence[str], table: str) -> List:
+    structures: List = []
+    for spec in index_specs:
+        columns, compression = _parse_spec(spec)
+        structures.append(IndexDef(table, columns, compression))
+    for spec in view_specs:
+        columns, compression = _parse_spec(spec)
+        structures.append(ViewDef(table, columns, compression))
+    return structures
 
 
 def _candidate_indexes(pairs: Sequence[Tuple[Statement, int]],

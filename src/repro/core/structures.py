@@ -1,15 +1,29 @@
 """Physical-design configurations.
 
-A :class:`Configuration` is a set of design structures — here, index
-definitions — exactly the paper's ``C_i``. Configurations are immutable
-and hashable so they can be graph nodes, matrix axes, and dict keys.
+A :class:`Configuration` is a set of design structures — index and
+materialized-view definitions, each at a
+:class:`~repro.sqlengine.compression.Compression` level — exactly the
+paper's ``C_i``. Configurations are immutable and hashable so they can
+be graph nodes, matrix axes, and dict keys.
+
+The compression axis multiplies the candidate space:
+:func:`compressed_variants` expands a base candidate list into
+per-level variants, which every downstream consumer (enumeration, DP
+and LP advisors, cost service) takes unchanged — a variant is just
+another structure definition with its own identity.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Iterator, Optional, Tuple
+from typing import FrozenSet, Iterable, Iterator, Optional, Sequence, Tuple
 
+from ..sqlengine.compression import Compression
 from ..sqlengine.index import IndexDef, structure_sort_key
+
+__all__ = [
+    "Compression", "Configuration", "EMPTY_CONFIGURATION",
+    "compressed_variants", "single_index_configurations",
+]
 
 
 class Configuration:
@@ -37,14 +51,16 @@ class Configuration:
         return self._indexes
 
     @property
-    def structures(self) -> FrozenSet[IndexDef]:
+    def structures(self) -> FrozenSet:
         """All design structures: indexes *and* materialized views.
 
-        A :class:`Configuration` stores every structure kind in one
-        frozenset, so equality/hashing — and therefore every cost-cache
-        key built from a configuration — already covers views. Cost
-        paths read this alias so the intent survives the next structure
-        kind.
+        A :class:`Configuration` stores every structure kind —
+        :class:`~repro.sqlengine.index.IndexDef` and
+        :class:`~repro.sqlengine.views.ViewDef`, at any compression
+        level — in one frozenset, so equality/hashing (and therefore
+        every cost-cache key built from a configuration) covers them
+        all. Cost paths read this alias so the intent survives the
+        next structure kind.
         """
         return self._indexes
 
@@ -60,18 +76,26 @@ class Configuration:
     def union(self, other: "Configuration") -> "Configuration":
         return Configuration(self._indexes | other._indexes)
 
-    def with_index(self, definition: IndexDef) -> "Configuration":
+    def with_structure(self, definition) -> "Configuration":
+        """This configuration plus one structure (any kind)."""
         return Configuration(self._indexes | {definition})
 
-    def without_index(self, definition: IndexDef) -> "Configuration":
+    def without_structure(self, definition) -> "Configuration":
+        """This configuration minus one structure (any kind)."""
         return Configuration(self._indexes - {definition})
 
+    #: Historical, index-named spellings of
+    #: :meth:`with_structure`/:meth:`without_structure`. They always
+    #: accepted any structure kind; the neutral names are preferred.
+    with_index = with_structure
+    without_index = without_structure
+
     def added(self, other: "Configuration") -> FrozenSet[IndexDef]:
-        """Indexes present here but not in ``other``."""
+        """Structures present here but not in ``other``."""
         return self._indexes - other._indexes
 
     def dropped(self, other: "Configuration") -> FrozenSet[IndexDef]:
-        """Indexes present in ``other`` but not here."""
+        """Structures present in ``other`` but not here."""
         return other._indexes - self._indexes
 
     # -- identity ----------------------------------------------------------
@@ -109,6 +133,25 @@ class Configuration:
 
 #: The empty configuration (the paper's usual C0).
 EMPTY_CONFIGURATION = Configuration()
+
+
+def compressed_variants(
+        candidates: Iterable,
+        levels: Sequence[Compression] = (Compression.NONE,
+                                         Compression.LIGHT,
+                                         Compression.HEAVY)
+        ) -> Tuple:
+    """Expand base candidates along the compression axis.
+
+    Every candidate structure is re-issued at each requested level
+    (via its ``with_compression``), deduplicated, and returned in
+    :func:`~repro.sqlengine.index.structure_sort_key` order. With
+    ``levels=(NONE,)`` this is an order-normalizing identity, so
+    pre-compression candidate lists round-trip unchanged.
+    """
+    variants = {definition.with_compression(level)
+                for definition in candidates for level in levels}
+    return tuple(sorted(variants, key=structure_sort_key))
 
 
 def single_index_configurations(

@@ -25,6 +25,13 @@ Access paths:
 
 Transitions (the paper's TRANS) price index builds as a heap scan plus
 a sort plus writing every index page; drops cost a catalog touch.
+
+Compression: a compressed structure's geometry reports fewer pages but
+carries ``cpu_factor``/``build_cpu_factor`` inflation (decode on read,
+encode on build). Every CPU charge below multiplies by the relevant
+factor; at level NONE the factors are exactly ``1.0`` (and the insert
+path's extra maintenance term exactly ``0.0``), so the uncompressed
+cost model is *bitwise* the pre-compression one.
 """
 
 from __future__ import annotations
@@ -106,7 +113,7 @@ def cost_seek_entries(stats: TableStats, geometry: IndexGeometry,
     matched = key_selectivity * stats.nrows
     reads = float(geometry.height)
     reads += geometry.leaf_pages_for(matched)
-    cpu = matched * params.cpu_index_tuple_cost
+    cpu = matched * params.cpu_index_tuple_cost * geometry.cpu_factor
     return Cost(page_reads=reads, cpu_units=cpu)
 
 
@@ -151,16 +158,20 @@ def cost_index_seek(stats: TableStats, geometry: IndexGeometry,
 
 def cost_index_only_scan(stats: TableStats, geometry: IndexGeometry,
                          params: CostParams) -> Cost:
-    """Scan the full leaf level of a covering index."""
+    """Scan the full leaf level of a covering index (fewer leaf pages
+    when compressed, decode CPU per entry)."""
     return Cost(page_reads=float(geometry.leaf_pages),
-                cpu_units=stats.nrows * params.cpu_index_tuple_cost)
+                cpu_units=stats.nrows * params.cpu_index_tuple_cost *
+                geometry.cpu_factor)
 
 
 def cost_build_index(stats: TableStats, geometry: IndexGeometry,
                      params: CostParams) -> Cost:
-    """Build an index: scan the heap, sort the entries, write the tree."""
+    """Build an index: scan the heap, sort (and, when compressed,
+    encode) the entries, write the tree."""
     n = max(1, stats.nrows)
-    sort_cpu = params.cpu_sort_factor * n * math.log2(n + 1) / 1000.0
+    sort_cpu = (params.cpu_sort_factor * n * math.log2(n + 1) / 1000.0
+                * geometry.build_cpu_factor)
     return Cost(page_reads=float(stats.n_pages),
                 page_writes=float(geometry.total_pages),
                 cpu_units=sort_cpu)
@@ -187,28 +198,44 @@ def cost_sort(n_rows: float, params: CostParams) -> Cost:
 
 
 def cost_view_scan(stats: TableStats, n_view_pages: int,
-                   params: CostParams) -> Cost:
+                   params: CostParams,
+                   cpu_factor: float = 1.0) -> Cost:
     """Sequentially read every page of a projection view and examine
-    every row (narrower pages than the base heap)."""
+    every row (narrower pages than the base heap; ``cpu_factor``
+    carries a compressed view's per-row decode inflation)."""
     return Cost(page_reads=float(n_view_pages),
-                cpu_units=stats.nrows * params.cpu_tuple_cost)
+                cpu_units=stats.nrows * params.cpu_tuple_cost *
+                cpu_factor)
 
 
 def cost_build_view(stats: TableStats, n_view_pages: int,
-                    params: CostParams) -> Cost:
+                    params: CostParams,
+                    build_cpu_factor: float = 1.0) -> Cost:
     """Materialize a projection view: scan the heap, write the view
-    pages — no sort, unlike an index build."""
+    pages — no sort, unlike an index build. ``build_cpu_factor``
+    carries a compressed view's encode inflation."""
     return Cost(page_reads=float(stats.n_pages),
                 page_writes=float(n_view_pages),
-                cpu_units=stats.nrows * params.cpu_tuple_cost)
+                cpu_units=stats.nrows * params.cpu_tuple_cost *
+                build_cpu_factor)
 
 
 def cost_insert(stats: TableStats, n_indexes: int,
-                params: CostParams) -> Cost:
-    """Append one row and maintain each index (descent + leaf write)."""
+                params: CostParams,
+                extra_maintenance_cpu: float = 0.0) -> Cost:
+    """Append one row and maintain each structure (descent + leaf
+    write).
+
+    ``extra_maintenance_cpu`` is the summed per-structure CPU
+    *surcharge* factor from compression, i.e.
+    ``sum(cpu_factor(s) - 1 for s in structures on the table)`` — an
+    additive term so an all-NONE design (surcharge exactly ``0.0``)
+    costs bitwise what it did before the compression axis.
+    """
     return Cost(page_reads=float(n_indexes) * 2.0,
                 page_writes=1.0 + n_indexes,
-                cpu_units=(1 + n_indexes) * params.cpu_tuple_cost)
+                cpu_units=(1 + n_indexes) * params.cpu_tuple_cost +
+                extra_maintenance_cpu * params.cpu_tuple_cost)
 
 
 @dataclass

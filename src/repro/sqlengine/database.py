@@ -129,6 +129,15 @@ class Database:
         return table
 
     def drop_table(self, name: str) -> None:
+        """Drop a table and every dependent structure.
+
+        Dependent indexes and views are dropped first (each
+        invalidating its buffer pages), then the heap itself — so no
+        structure can outlive its base table and
+        :meth:`current_configuration` never reports a dangling
+        definition. Compressed variants are ordinary catalog entries
+        and need no special casing here.
+        """
         table = self.table(name)
         for index in list(self.indexes_for(name)):
             self.drop_index(index.name)
@@ -498,6 +507,14 @@ class Database:
             created.append(definition)
         return self._transition_report(created, dropped, before,
                                        drop_units)
+
+    def deploy(self, plan) -> "DeploymentReport":
+        """Execute a scheduled :class:`~repro.core.deployment.
+        DeploymentPlan` — the ordered, resumable form of
+        :meth:`apply_configuration` (each step individually atomic
+        via :meth:`_transition`; already-satisfied steps skipped)."""
+        from ..core.deployment import execute_deployment
+        return execute_deployment(self, plan)
 
     def _transition_report(self, created, dropped, before: IoMetrics,
                            drop_units: float) -> TransitionReport:

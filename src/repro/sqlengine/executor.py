@@ -155,6 +155,15 @@ class Executor:
     def execute_insert(self, stmt: InsertStmt) -> QueryResult:
         metered = MeteredCost()
         schema = self.table.schema
+        # Compressed structures decode/re-encode on maintenance; the
+        # surcharge term is exactly 0.0 for an all-NONE design, so the
+        # uncompressed metering is bitwise the pre-compression one.
+        # Summed in structure_sort_key order to match the what-if
+        # estimate's deterministic fold.
+        surcharge = 0.0
+        for definition in sorted(list(self.indexes) + list(self.views),
+                                 key=structure_sort_key):
+            surcharge += definition.compression.cpu_factor - 1.0
         for row in stmt.rows:
             if len(row) != len(stmt.columns):
                 raise PlanningError("INSERT arity mismatch")
@@ -170,7 +179,8 @@ class Executor:
                 metered.add_reads(index.geometry().height)
                 metered.add_writes(1.0)
             metered.add_cpu((1 + len(self.indexes)) *
-                            self.params.cpu_tuple_cost)
+                            self.params.cpu_tuple_cost +
+                            surcharge * self.params.cpu_tuple_cost)
             for view in self.views.values():
                 view.on_change()
                 metered.add_writes(1.0)

@@ -25,6 +25,7 @@ import numpy as np
 from ..errors import SchemaError
 from .btree import BPlusTree
 from .buffer import BufferManager
+from .compression import Compression
 from .schema import RID_BYTES, TableSchema
 from .storage import HeapTable, PAGE_SIZE_BYTES
 
@@ -32,15 +33,20 @@ from .storage import HeapTable, PAGE_SIZE_BYTES
 INDEX_ENTRY_OVERHEAD = 4
 
 
-def structure_sort_key(definition) -> Tuple[str, str, Tuple[str, ...]]:
+def structure_sort_key(definition
+                       ) -> Tuple[str, str, Tuple[str, ...], int]:
     """Stable ordering across structure kinds (indexes, views).
 
     Anything with ``table`` and ``columns`` attributes sorts by
-    ``(kind, table, columns)``; indexes come before views because
-    'I' < 'V' via the class names.
+    ``(kind, table, columns, compression)``; indexes come before views
+    because 'I' < 'V' via the class names, and compressed variants of
+    one logical structure sort NONE < LIGHT < HEAVY. Spaces that use
+    only NONE-level structures sort exactly as they did before the
+    compression axis existed (the appended element is a constant 0).
     """
+    compression = getattr(definition, "compression", Compression.NONE)
     return (type(definition).__name__, definition.table,
-            definition.columns)
+            definition.columns, int(compression))
 
 #: Target fill factor of index pages after a build.
 INDEX_FILL_FACTOR = 0.85
@@ -53,10 +59,16 @@ class IndexDef:
     Attributes:
         table: table the index is defined on.
         columns: ordered key columns, e.g. ``("a", "b")``.
+        compression: the variant's :class:`Compression` level. Part of
+            the definition's identity — ``I(a,b)`` and ``I(a,b)@H``
+            are distinct candidates, catalog objects, and cache-key
+            members. Defaults to NONE so every pre-compression call
+            site builds the exact seed definition.
     """
 
     table: str
     columns: Tuple[str, ...]
+    compression: Compression = Compression.NONE
 
     def __post_init__(self) -> None:
         if not self.columns:
@@ -67,22 +79,45 @@ class IndexDef:
 
     @property
     def label(self) -> str:
-        """The paper's notation, e.g. ``I(a,b)``."""
-        return f"I({','.join(self.columns)})"
+        """The paper's notation, e.g. ``I(a,b)`` (``I(a,b)@H`` when
+        compressed)."""
+        return (f"I({','.join(self.columns)})"
+                f"{self.compression.suffix}")
 
     def covers(self, column_names: Sequence[str]) -> bool:
         """True if every referenced column is part of the index key.
 
         Such an index can answer the query with an index-only scan
-        (no heap fetches).
+        (no heap fetches). Compression never changes coverage — only
+        the page/CPU trade-off of using the structure.
         """
         return set(column_names) <= set(self.columns)
 
+    def with_compression(self, compression: Compression) -> "IndexDef":
+        """The same logical index at another compression level."""
+        return IndexDef(self.table, self.columns, compression)
+
     def default_name(self) -> str:
-        return f"ix_{self.table}_{'_'.join(self.columns)}"
+        name = f"ix_{self.table}_{'_'.join(self.columns)}"
+        if self.compression is not Compression.NONE:
+            name += f"_{self.compression.name.lower()}"
+        return name
 
     def __str__(self) -> str:
         return self.label
+
+
+def compressed_width(raw_width: int,
+                     compression: Compression) -> int:
+    """Entry/row width after compression, in whole bytes.
+
+    NONE returns ``raw_width`` untouched — no float arithmetic at all,
+    so NONE-level geometry is *bitwise* the pre-compression geometry,
+    not merely numerically close.
+    """
+    if compression is Compression.NONE:
+        return raw_width
+    return max(1, math.ceil(raw_width * compression.page_fraction))
 
 
 @dataclass(frozen=True)
@@ -90,7 +125,9 @@ class IndexGeometry:
     """Page-level shape of an index over ``nrows`` rows.
 
     Derived deterministically from the schema, so hypothetical and
-    materialized indexes cost identically.
+    materialized indexes cost identically. ``cpu_factor`` and
+    ``build_cpu_factor`` carry the compression level's decode/encode
+    inflation into the cost model (both exactly ``1.0`` at NONE).
     """
 
     nrows: int
@@ -99,18 +136,25 @@ class IndexGeometry:
     leaf_pages: int
     height: int
     total_pages: int
+    cpu_factor: float = 1.0
+    build_cpu_factor: float = 1.0
 
     @classmethod
     def compute(cls, schema: TableSchema, columns: Sequence[str],
-                nrows: int) -> "IndexGeometry":
-        entry_width = (schema.width_of(columns) + RID_BYTES +
-                       INDEX_ENTRY_OVERHEAD)
+                nrows: int,
+                compression: Compression = Compression.NONE
+                ) -> "IndexGeometry":
+        entry_width = compressed_width(
+            schema.width_of(columns) + RID_BYTES + INDEX_ENTRY_OVERHEAD,
+            compression)
         usable = PAGE_SIZE_BYTES * INDEX_FILL_FACTOR
         entries_per_page = max(2, int(usable // entry_width))
         leaf_pages = max(1, math.ceil(nrows / entries_per_page)) \
             if nrows else 1
-        # Internal fanout: separators are key-only entries.
-        sep_width = schema.width_of(columns) + RID_BYTES
+        # Internal fanout: separators are key-only entries (compressed
+        # alongside the leaf entries).
+        sep_width = compressed_width(
+            schema.width_of(columns) + RID_BYTES, compression)
         fanout = max(2, int(usable // sep_width))
         height = 1
         level_pages = leaf_pages
@@ -122,7 +166,9 @@ class IndexGeometry:
         return cls(nrows=nrows, entry_width=entry_width,
                    entries_per_page=entries_per_page,
                    leaf_pages=leaf_pages, height=height,
-                   total_pages=total)
+                   total_pages=total,
+                   cpu_factor=compression.cpu_factor,
+                   build_cpu_factor=compression.build_cpu_factor)
 
     @property
     def size_bytes(self) -> int:
@@ -229,7 +275,8 @@ class Index:
     def geometry(self) -> IndexGeometry:
         return IndexGeometry.compute(self.table.schema,
                                      self.definition.columns,
-                                     len(self.tree))
+                                     len(self.tree),
+                                     self.definition.compression)
 
     def charge_descent(self) -> None:
         """Meter a root-to-leaf descent (one page per level)."""

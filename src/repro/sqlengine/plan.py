@@ -250,14 +250,16 @@ class ScanView(PlanNode):
     n_pages: int
 
     def estimate(self, stats, params) -> Cost:
-        return cost_view_scan(stats, self.n_pages, params)
+        return cost_view_scan(stats, self.n_pages, params,
+                              self.view.compression.cpu_factor)
 
     def run(self, runtime: PlanRuntime) -> HeapStream:
         view = runtime.views[self.view]
         pages = view.charge_scan()
         runtime.metered.add_reads(pages)
         runtime.metered.add_cpu(runtime.table.nslots *
-                                runtime.params.cpu_tuple_cost)
+                                runtime.params.cpu_tuple_cost *
+                                self.view.compression.cpu_factor)
         runtime.metered.rows_examined += runtime.table.nslots
         mask = runtime.table.valid_mask().copy()
         for column, value in self.info.eq_predicates.items():
@@ -329,7 +331,8 @@ class SeekIndex(PlanNode):
         pages = index.charge_leaf_pages(max(n_entries, 1))
         runtime.metered.add_reads(index.geometry().height + pages)
         runtime.metered.add_cpu(n_entries *
-                                runtime.params.cpu_index_tuple_cost)
+                                runtime.params.cpu_index_tuple_cost *
+                                self.index.compression.cpu_factor)
         runtime.metered.rows_examined += n_entries
         return LeafStream(cols, rids,
                           np.arange(lo, hi, dtype=np.int64))
@@ -361,7 +364,8 @@ class ScanIndexLeaf(PlanNode):
         pages = index.charge_full_leaf_scan()
         runtime.metered.add_reads(pages)
         runtime.metered.add_cpu(len(rids) *
-                                runtime.params.cpu_index_tuple_cost)
+                                runtime.params.cpu_index_tuple_cost *
+                                self.index.compression.cpu_factor)
         runtime.metered.rows_examined += len(rids)
         return LeafStream(cols, rids,
                           np.arange(len(rids), dtype=np.int64))

@@ -356,6 +356,14 @@ def structure_can_serve(info: QueryInfo, definition) -> bool:
     serve adds no path, so its presence or absence cannot change the
     chosen plan or its cost — that equivalence is what the what-if
     layer's relevance signatures are built on.
+
+    Compression never changes *whether* a structure serves (coverage
+    and seekability are column properties) — only the page/CPU
+    trade-off of its realized paths. Variants at different levels are
+    nevertheless distinct candidates end to end: the level is part of
+    the definition's identity, so each variant enters the enumeration
+    with its own geometry and lands in relevance signatures as its own
+    member.
     """
     if definition.table != info.table:
         return False

@@ -26,6 +26,8 @@ import numpy as np
 
 from ..errors import SchemaError
 from .buffer import BufferManager
+from .compression import Compression
+from .index import compressed_width
 from .schema import TableSchema
 from .storage import HeapTable, PAGE_SIZE_BYTES
 
@@ -45,10 +47,14 @@ class ViewDef:
         table: base table.
         columns: the projected columns (stored sorted; a projection
             has no column order).
+        compression: the variant's :class:`Compression` level —
+            part of the identity, exactly as on
+            :class:`~repro.sqlengine.index.IndexDef`.
     """
 
     table: str
     columns: Tuple[str, ...]
+    compression: Compression = Compression.NONE
 
     def __post_init__(self) -> None:
         if not self.columns:
@@ -61,14 +67,21 @@ class ViewDef:
 
     @property
     def label(self) -> str:
-        return f"V({','.join(self.columns)})"
+        return f"V({','.join(self.columns)}){self.compression.suffix}"
 
     def covers(self, column_names: Sequence[str]) -> bool:
         """True if every referenced column is stored in the view."""
         return set(column_names) <= set(self.columns)
 
+    def with_compression(self, compression: Compression) -> "ViewDef":
+        """The same logical view at another compression level."""
+        return ViewDef(self.table, self.columns, compression)
+
     def default_name(self) -> str:
-        return f"mv_{self.table}_{'_'.join(self.columns)}"
+        name = f"mv_{self.table}_{'_'.join(self.columns)}"
+        if self.compression is not Compression.NONE:
+            name += f"_{self.compression.name.lower()}"
+        return name
 
     def __str__(self) -> str:
         return self.label
@@ -76,23 +89,34 @@ class ViewDef:
 
 @dataclass(frozen=True)
 class ViewGeometry:
-    """Page-level shape of a (possibly hypothetical) projection view."""
+    """Page-level shape of a (possibly hypothetical) projection view.
+
+    ``cpu_factor``/``build_cpu_factor`` carry the compression level's
+    decode/encode inflation (both exactly ``1.0`` at NONE).
+    """
 
     nrows: int
     row_width: int
     rows_per_page: int
     n_pages: int
+    cpu_factor: float = 1.0
+    build_cpu_factor: float = 1.0
 
     @classmethod
     def compute(cls, schema: TableSchema, columns: Sequence[str],
-                nrows: int) -> "ViewGeometry":
-        row_width = schema.width_of(columns) + VIEW_ROW_OVERHEAD
+                nrows: int,
+                compression: Compression = Compression.NONE
+                ) -> "ViewGeometry":
+        row_width = compressed_width(
+            schema.width_of(columns) + VIEW_ROW_OVERHEAD, compression)
         usable = PAGE_SIZE_BYTES * VIEW_FILL_FACTOR
         rows_per_page = max(1, int(usable // row_width))
         n_pages = max(1, math.ceil(nrows / rows_per_page)) if nrows \
             else 1
         return cls(nrows=nrows, row_width=row_width,
-                   rows_per_page=rows_per_page, n_pages=n_pages)
+                   rows_per_page=rows_per_page, n_pages=n_pages,
+                   cpu_factor=compression.cpu_factor,
+                   build_cpu_factor=compression.build_cpu_factor)
 
     @property
     def size_bytes(self) -> int:
@@ -143,7 +167,8 @@ class MaterializedView:
     def geometry(self) -> ViewGeometry:
         return ViewGeometry.compute(self.table.schema,
                                     self.definition.columns,
-                                    self.table.nrows)
+                                    self.table.nrows,
+                                    self.definition.compression)
 
     def charge_scan(self) -> int:
         """Meter a full sequential scan of the view."""

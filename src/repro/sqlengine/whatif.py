@@ -222,11 +222,15 @@ class WhatIfOptimizer:
           statement (:func:`~repro.sqlengine.planner.
           structure_can_serve`); non-serving structures contribute no
           access path, so the planner's cheapest-path choice is a pure
-          function of this subset (plus statistics).
-        * INSERT — only the *count* of structures on the target table
-          enters the maintenance cost, so the signature is that count.
+          function of this subset (plus statistics). Compression is
+          part of each structure's identity, so variants are distinct
+          signature members automatically.
+        * INSERT — the maintenance cost is a function of the on-table
+          structures' count *and compression levels* (decode/encode
+          surcharge), so the signature is the sorted multiset of
+          levels; its length recovers the historical count.
         * UPDATE/DELETE — the serving subset of the SELECT-* probe
-          (row location) plus the on-table structure count (write
+          (row location) plus the on-table level multiset (write
           maintenance).
 
         Signature-keyed caches therefore collapse the what-if work
@@ -240,7 +244,7 @@ class WhatIfOptimizer:
             return ("select", relevant_structures(info, structures))
         if isinstance(stmt, InsertStmt):
             return ("insert", stmt.table,
-                    sum(1 for d in structures if d.table == stmt.table))
+                    _maintenance_levels(structures, stmt.table))
         if isinstance(stmt, (UpdateStmt, DeleteStmt)):
             schema = self._schema_for(stmt.table)
             probe = SelectStmt(table=stmt.table,
@@ -248,7 +252,7 @@ class WhatIfOptimizer:
                                where=stmt.where)
             info = self._analyze(probe)
             return ("write", relevant_structures(info, structures),
-                    sum(1 for d in structures if d.table == stmt.table))
+                    _maintenance_levels(structures, stmt.table))
         raise SqlUnsupportedError(
             f"what-if costing does not support {type(stmt).__name__}")
 
@@ -334,7 +338,8 @@ class WhatIfOptimizer:
                          config: FrozenSet[IndexDef]) -> PlanEstimate:
         stats = self._stats_for(stmt.table)
         n_indexes = sum(1 for d in config if d.table == stmt.table)
-        one = cost_insert(stats, n_indexes, self.params)
+        surcharge = _maintenance_surcharge(config, stmt.table)
+        one = cost_insert(stats, n_indexes, self.params, surcharge)
         cost = Cost(one.page_reads * len(stmt.rows),
                     one.page_writes * len(stmt.rows),
                     one.cpu_units * len(stmt.rows))
@@ -354,9 +359,14 @@ class WhatIfOptimizer:
                                   views=views)
         affected = stats.nrows * total_selectivity(info, stats)
         n_indexes = sum(1 for d in config if d.table == stmt.table)
+        surcharge = _maintenance_surcharge(config, stmt.table)
+        # The surcharge rides as an additive term (exactly 0.0 for an
+        # all-NONE design) so the uncompressed write estimate is
+        # bitwise the pre-compression one.
         write = Cost(page_writes=affected * (1.0 + n_indexes),
                      cpu_units=affected * self.params.cpu_tuple_cost *
-                     (1 + n_indexes))
+                     (1 + n_indexes) +
+                     affected * self.params.cpu_tuple_cost * surcharge)
         cost = path.cost + write
         return PlanEstimate(cost=cost, access_path=path,
                             units=cost.total(self.params),
@@ -384,21 +394,25 @@ class WhatIfOptimizer:
             if stmt.order_by is not None or stmt.group_by is not None:
                 cost = cost + cost_sort(stats.nrows, self.params)
             return cost.total(self.params)
-        n_indexes = sum(1 for d in frozenset(config)
+        structures = frozenset(config)
+        n_indexes = sum(1 for d in structures
                         if d.table == stmt.table)
+        surcharge = _maintenance_surcharge(structures, stmt.table)
         if isinstance(stmt, InsertStmt):
-            one = cost_insert(stats, n_indexes, self.params)
+            one = cost_insert(stats, n_indexes, self.params,
+                              surcharge)
             cost = Cost(one.page_reads * len(stmt.rows),
                         one.page_writes * len(stmt.rows),
                         one.cpu_units * len(stmt.rows))
             return cost.total(self.params)
         if isinstance(stmt, (UpdateStmt, DeleteStmt)):
             # Worst case: every row qualifies and every structure is
-            # maintained.
+            # maintained (compressed ones at their decode surcharge).
             cost = cost_full_scan(stats, self.params) + Cost(
                 page_writes=stats.nrows * (1.0 + n_indexes),
                 cpu_units=stats.nrows * self.params.cpu_tuple_cost *
-                (1 + n_indexes))
+                (1 + n_indexes) +
+                stats.nrows * self.params.cpu_tuple_cost * surcharge)
             return cost.total(self.params)
         raise SqlUnsupportedError(
             f"no upper bound for {type(stmt).__name__}")
@@ -418,7 +432,8 @@ class WhatIfOptimizer:
             geometry = self._geometry(definition)
             if isinstance(definition, ViewDef):
                 cost = cost + cost_build_view(
-                    stats, geometry.n_pages, self.params)
+                    stats, geometry.n_pages, self.params,
+                    geometry.build_cpu_factor)
             else:
                 cost = cost + cost_build_index(stats, geometry,
                                                self.params)
@@ -477,12 +492,22 @@ class WhatIfOptimizer:
             schema = self._schema_for(definition.table)
             if isinstance(definition, ViewDef):
                 geometry = ViewGeometry.compute(
-                    schema, definition.columns, stats.nrows)
+                    schema, definition.columns, stats.nrows,
+                    definition.compression)
             else:
                 geometry = IndexGeometry.compute(
-                    schema, definition.columns, stats.nrows)
+                    schema, definition.columns, stats.nrows,
+                    definition.compression)
             self._geometry_cache[key] = geometry
         return geometry
+
+    @staticmethod
+    def maintenance_surcharge(config: Iterable[IndexDef],
+                              table: str) -> float:
+        """Summed compression CPU surcharge of ``table``'s structures
+        (``0.0`` for an all-NONE design). Public mirror of the term
+        the insert/write estimates add."""
+        return _maintenance_surcharge(frozenset(config), table)
 
     def _geometries(self, table: str, config: FrozenSet[IndexDef]):
         """Split a configuration into (index pairs, view pairs)."""
@@ -497,3 +522,26 @@ class WhatIfOptimizer:
                 indexes.append((definition,
                                 self._geometry(definition)))
         return indexes, views
+
+
+def _maintenance_surcharge(structures: FrozenSet, table: str) -> float:
+    """``sum(cpu_factor(s) - 1)`` over ``table``'s structures.
+
+    Summed in :func:`structure_sort_key` order so the float fold is
+    deterministic across processes (worker replicas must reproduce the
+    parent's estimates bit for bit); exactly ``0.0`` when every
+    structure is at level NONE.
+    """
+    surcharge = 0.0
+    for definition in sorted(structures, key=structure_sort_key):
+        if definition.table == table:
+            surcharge += definition.compression.cpu_factor - 1.0
+    return surcharge
+
+
+def _maintenance_levels(structures: FrozenSet, table: str) -> Tuple:
+    """Sorted multiset of compression levels on ``table`` — the
+    signature of everything the insert/write maintenance term reads
+    (its length is the historical structure count)."""
+    return tuple(sorted(int(d.compression) for d in structures
+                        if d.table == table))

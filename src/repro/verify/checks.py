@@ -47,6 +47,16 @@
    certified interval ``[lower_bound, cost]`` actually containing the
    exact DP optimum. (Family 6, fault resilience, lives in
    :mod:`repro.faults.chaos`.)
+
+8. **Deployment** (:func:`check_deployment`) — the compression axis
+   and the transition scheduler: explicit level-NONE structures are
+   bitwise the uncompressed ones (definition, geometry, estimates),
+   relevance signatures never conflate compression levels whose
+   estimates differ (the L3 cache-safety contract), scheduled
+   deployments perform exactly the symmetric difference inside any
+   space bound and never cost more than the unscheduled order, and
+   executing a plan lands the live catalog exactly on the target
+   (resumably — re-execution is a no-op).
 """
 
 from __future__ import annotations
@@ -594,6 +604,191 @@ def check_lp_bounds(instance: MatrixInstance,
                     f"k >= l={max_k} must be exact with zero gap; "
                     f"got cost {lp.cost!r} (dp {dp.cost!r}), gap "
                     f"{lp.gap!r}")
+
+
+# ----------------------------------------------------------------------
+# family 8: compression identity + deployment scheduling
+# ----------------------------------------------------------------------
+
+def check_deployment(instance: TraceInstance,
+                     result: CheckResult) -> None:
+    """Compression identity and deployment scheduling (family 8).
+
+    Three contracts:
+
+    * **NONE bit-identity** — a structure at explicit level NONE is
+      *the same structure* as one that never heard of compression:
+      equal definition, bitwise-equal geometry, bitwise-equal
+      estimates. Compressed variants order sanely (HEAVY pages <=
+      LIGHT <= NONE, CPU factors the reverse).
+    * **Signature soundness** — relevance signatures may never
+      conflate compression levels whose estimates differ: whenever
+      two configurations share a signature, their estimates must be
+      bit-identical (this is the L3-cache-safety contract; a
+      violation means the cache would silently serve one level's
+      cost for another).
+    * **Schedule feasibility + execution** — a scheduled deployment
+      performs each action exactly once, only creates absent
+      structures and drops present ones, keeps every intermediate
+      configuration inside a space bound when one is given, never
+      costs more than the unscheduled default order, has
+      non-increasing concurrent-exec rates for a SELECT-only
+      segment with a create-only transition, and — executed for
+      real — lands the catalog exactly on the target (and resumes
+      as a no-op). Leaves the database in the empty design.
+    """
+    from ..core.deployment import (execute_deployment,
+                                   schedule_deployment)
+    from ..core.structures import (Compression, Configuration,
+                                   EMPTY_CONFIGURATION)
+    from ..sqlengine.index import IndexGeometry
+
+    db = instance.db
+    optimizer = instance.service.optimizer
+    label = instance.label
+    schema = db.tables["t"].schema
+    nrows = db.tables["t"].nrows
+
+    candidates = sorted(
+        {d for config in instance.problem.configurations
+         for d in config.structures},
+        key=lambda d: (d.table, d.columns))
+    levels = (Compression.NONE, Compression.LIGHT, Compression.HEAVY)
+
+    # --- NONE bit-identity and geometry ordering ---------------------
+    for definition in candidates:
+        where = f"{label} {definition.label}"
+        result.check(
+            definition.with_compression(Compression.NONE) ==
+            definition, where,
+            "explicit NONE variant is not the uncompressed identity")
+        default_geometry = IndexGeometry.compute(
+            schema, definition.columns, nrows)
+        none_geometry = IndexGeometry.compute(
+            schema, definition.columns, nrows, Compression.NONE)
+        result.check(
+            default_geometry == none_geometry, where,
+            f"explicit-NONE geometry differs from default geometry: "
+            f"{none_geometry!r} != {default_geometry!r}")
+        geometries = [IndexGeometry.compute(schema, definition.columns,
+                                            nrows, level)
+                      for level in levels]
+        result.check(
+            geometries[2].leaf_pages <= geometries[1].leaf_pages <=
+            geometries[0].leaf_pages, where,
+            "compressed leaf pages do not shrink with level: " +
+            ", ".join(str(g.leaf_pages) for g in geometries))
+        result.check(
+            geometries[0].cpu_factor == 1.0 and
+            geometries[0].cpu_factor <= geometries[1].cpu_factor <=
+            geometries[2].cpu_factor, where,
+            "decode CPU factors not monotone in the level: " +
+            ", ".join(str(g.cpu_factor) for g in geometries))
+
+    # --- signature soundness across levels ---------------------------
+    templates = {}
+    for segment in instance.problem.segments:
+        for statement in segment:
+            template = optimizer.statement_template(statement.ast)
+            templates.setdefault(template.key, template)
+    conflated = 0
+    for template in templates.values():
+        for definition in candidates:
+            by_level = []
+            for level in levels:
+                config = frozenset({definition.with_compression(level)})
+                signature = optimizer.relevance_signature(template,
+                                                          config)
+                units = optimizer.estimate_template(
+                    template, config).cost.total(db.params)
+                by_level.append((level, signature, units))
+            for i in range(len(by_level)):
+                for j in range(i + 1, len(by_level)):
+                    level_a, sig_a, units_a = by_level[i]
+                    level_b, sig_b, units_b = by_level[j]
+                    if sig_a == sig_b and units_a != units_b:
+                        conflated += 1
+                        result.failed(
+                            f"{label} template={template.key!r} "
+                            f"{definition.label}",
+                            f"signature conflates {level_a.name} and "
+                            f"{level_b.name} but estimates differ: "
+                            f"{units_a!r} != {units_b!r}")
+    result.check(
+        conflated == 0, label,
+        f"{conflated} signature conflation(s) across compression "
+        f"levels (L3 cache would serve wrong-level costs)")
+
+    # --- schedule feasibility ----------------------------------------
+    segment = instance.problem.segments[0]
+    source = Configuration({candidates[0]})
+    target = Configuration(
+        {candidates[1],
+         candidates[2].with_compression(Compression.LIGHT),
+         candidates[0].with_compression(Compression.HEAVY)})
+    plan = schedule_deployment(instance.service, source, target,
+                               segment)
+    expected_creates = sorted(
+        (d.label for d in target.added(source)))
+    expected_drops = sorted(
+        (d.label for d in target.dropped(source)))
+    result.check(
+        sorted(s.definition.label for s in plan.steps
+               if s.action == "create") == expected_creates and
+        sorted(s.definition.label for s in plan.steps
+               if s.action == "drop") == expected_drops, label,
+        f"schedule does not perform the symmetric difference exactly "
+        f"once: {[s.label for s in plan.steps]}")
+    configurations = plan.configurations()
+    result.check(
+        configurations[0] == source and
+        configurations[-1] == target, label,
+        "schedule endpoints are not (source, target)")
+    greedy_only = schedule_deployment(instance.service, source,
+                                      target, segment, exact_limit=0)
+    result.check(
+        plan.total_units <= greedy_only.total_units + 1e-9, label,
+        f"exact-eligible schedule costs more than greedy/default: "
+        f"{plan.total_units!r} > {greedy_only.total_units!r}")
+
+    bound = max(
+        optimizer.configuration_size_bytes(source.structures),
+        optimizer.configuration_size_bytes(target.structures),
+        max(optimizer.configuration_size_bytes(c.structures)
+            for c in configurations))
+    bounded = schedule_deployment(instance.service, source, target,
+                                  segment, space_bound_bytes=bound)
+    result.check(
+        all(optimizer.configuration_size_bytes(c.structures) <= bound
+            for c in bounded.configurations()), label,
+        "bounded schedule exceeds the space bound mid-deployment")
+
+    selects = segment.__class__(
+        statements=tuple(s for s in segment.statements
+                         if isinstance(s.ast, SelectStmt)),
+        start=segment.start)
+    create_only = schedule_deployment(
+        instance.service, EMPTY_CONFIGURATION,
+        Configuration({candidates[0], candidates[1]}), selects)
+    rates = [step.exec_rate for step in create_only.steps]
+    result.check(
+        all(a >= b - 1e-9 for a, b in zip(rates, rates[1:])), label,
+        f"SELECT-only create-only deployment has an increasing "
+        f"intermediate exec rate: {rates}")
+
+    # --- execution lands on the target, resume is a no-op ------------
+    db.apply_configuration(set(source.structures))
+    report = execute_deployment(db, plan)
+    landed = Configuration(db.current_configuration())
+    result.check(
+        report.completed and landed == target, label,
+        f"deployment landed on {landed.label}, not {target.label}")
+    resumed = execute_deployment(db, plan)
+    result.check(
+        not resumed.executed and
+        len(resumed.skipped) == len(plan.steps), label,
+        "re-executing a completed plan was not a pure no-op")
+    db.apply_configuration(set())
 
 
 def replay_ranking_failures(

@@ -1,6 +1,6 @@
 """Orchestration: one call runs every check family.
 
-:func:`run_verification` drives families 1-5 and 7 over a batch of
+:func:`run_verification` drives families 1-5, 7 and 8 over a batch of
 randomized matrix instances and one or more live trace instances,
 returning a :class:`~repro.verify.report.VerificationReport`
 (family 6, fault resilience, runs separately via :func:`run_chaos`).
@@ -19,8 +19,9 @@ import time
 from typing import Optional
 
 from .checks import (check_constrained_invariants, check_cost_service,
-                     check_ground_truth, check_lp_bounds,
-                     check_plan_identity, check_solver_equivalence,
+                     check_deployment, check_ground_truth,
+                     check_lp_bounds, check_plan_identity,
+                     check_solver_equivalence,
                      check_summary_formulation)
 from .generators import matrix_instances, random_trace_problem
 from .report import CheckResult, VerificationReport
@@ -31,7 +32,7 @@ def run_verification(seed: int = 0, instances: int = 50,
                      nrows: Optional[int] = None,
                      traces: Optional[int] = None
                      ) -> VerificationReport:
-    """Run check families 1-5 and 7.
+    """Run check families 1-5, 7 and 8.
 
     Args:
         seed: base seed; instance i uses ``seed + i``.
@@ -68,6 +69,11 @@ def run_verification(seed: int = 0, instances: int = 50,
         "scaleadvisor", "summary formulation bit-identical to raw "
                         "matrices; LP solution feasible with a "
                         "certified bound containing the DP optimum")
+    deployment = CheckResult(
+        "deployment", "level-NONE structures bitwise uncompressed; "
+                      "signatures never conflate levels; schedules "
+                      "feasible, never worse than unscheduled, and "
+                      "land exactly on the target")
 
     for instance in matrix_instances(seed, instances):
         check_solver_equivalence(instance, solvers)
@@ -82,10 +88,11 @@ def run_verification(seed: int = 0, instances: int = 50,
         check_ground_truth(trace, groundtruth)
         check_plan_identity(trace, planidentity)
         check_summary_formulation(trace, scaleadvisor)
+        check_deployment(trace, deployment)
 
     report = VerificationReport(
         results=[solvers, invariants, costservice, groundtruth,
-                 planidentity, scaleadvisor])
+                 planidentity, scaleadvisor, deployment])
     report.seconds = time.perf_counter() - start
     return report
 

@@ -441,6 +441,35 @@ class TestDecomposition:
                             small_problem.configurations)
         assert service.stats.whatif_calls > calls
 
+    def test_l3_keys_distinguish_compression_levels(self, small_db):
+        """Cache-conflation regression: compressed variants are
+        distinct signature members, so the decomposed service must
+        neither serve one level's units for another nor drift from
+        the undecomposed bits over a level-only-differing space."""
+        from repro.core.structures import (Compression,
+                                          compressed_variants)
+        base = [IndexDef("t", ("a",)), IndexDef("t", ("a", "b"))]
+        candidates = list(compressed_variants(base))
+        assert len(candidates) == 3 * len(base)
+        problem = _problem("W1", candidates)
+        undecomposed = CostService(small_db.what_if(),
+                                   decompose=False)
+        decomposed = CostService(small_db.what_if())
+        raw = build_cost_matrices(problem, undecomposed)
+        dec = build_cost_matrices(problem, decomposed)
+        assert np.array_equal(raw.exec_matrix, dec.exec_matrix)
+        assert np.array_equal(raw.trans_matrix, dec.trans_matrix)
+        # The levels genuinely price differently somewhere — if the
+        # L3 key dropped the level, these columns would be forced
+        # equal and this assertion is what would catch it.
+        configs = list(problem.configurations)
+        none_col = configs.index(Configuration(
+            {IndexDef("t", ("a", "b"))}))
+        heavy_col = configs.index(Configuration(
+            {IndexDef("t", ("a", "b"), Compression.HEAVY)}))
+        assert not np.array_equal(dec.exec_matrix[:, none_col],
+                                  dec.exec_matrix[:, heavy_col])
+
     def test_fault_injector_disables_decomposition(self, small_db):
         from repro.faults import FaultInjector, FaultPlan
         injector = FaultInjector(FaultPlan(specs=()), seed=0)

@@ -1,0 +1,82 @@
+"""Property tests: ``Configuration.added``/``dropped`` set algebra.
+
+The transition bookkeeping (``apply_configuration``, TRANS costing,
+deployment scheduling) all lean on the same three identities, so they
+are pinned over randomized structure sets — compressed variants
+included, since each level is a distinct set member:
+
+* ``added``/``dropped`` partition the symmetric difference,
+* swapping the arguments swaps the roles (``a.added(b) ==
+  b.dropped(a)``),
+* both are empty against ``self``.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.structures import Compression, Configuration
+from repro.sqlengine.index import IndexDef
+from repro.sqlengine.views import ViewDef
+
+_COLUMNS = ("a", "b", "c", "d")
+_LEVELS = (Compression.NONE, Compression.LIGHT, Compression.HEAVY)
+
+
+def _index_defs():
+    return st.builds(
+        IndexDef,
+        st.just("t"),
+        st.sets(st.sampled_from(_COLUMNS), min_size=1,
+                max_size=2).map(tuple),
+        st.sampled_from(_LEVELS))
+
+
+def _view_defs():
+    return st.builds(
+        ViewDef,
+        st.just("t"),
+        st.sets(st.sampled_from(_COLUMNS), min_size=1,
+                max_size=3).map(tuple),
+        st.sampled_from(_LEVELS))
+
+
+configurations = st.frozensets(
+    st.one_of(_index_defs(), _view_defs()),
+    max_size=8).map(Configuration)
+
+
+@given(a=configurations, b=configurations)
+@settings(max_examples=200, deadline=None)
+def test_added_dropped_partition_the_symmetric_difference(a, b):
+    added, dropped = a.added(b), a.dropped(b)
+    assert added | dropped == a.structures ^ b.structures
+    assert added & dropped == frozenset()
+    assert added <= a.structures and not (added & b.structures)
+    assert dropped <= b.structures and not (dropped & a.structures)
+
+
+@given(a=configurations, b=configurations)
+@settings(max_examples=200, deadline=None)
+def test_swapping_arguments_swaps_the_roles(a, b):
+    assert a.added(b) == b.dropped(a)
+    assert a.dropped(b) == b.added(a)
+
+
+@given(a=configurations)
+@settings(max_examples=100, deadline=None)
+def test_empty_against_self(a):
+    assert a.added(a) == frozenset()
+    assert a.dropped(a) == frozenset()
+
+
+@given(a=configurations, b=configurations)
+@settings(max_examples=100, deadline=None)
+def test_applying_the_difference_reaches_the_target(a, b):
+    """Creating ``b.added(a)`` and dropping ``b.dropped(a)`` on top
+    of ``a`` lands exactly on ``b`` — the identity every transition
+    (unordered or scheduled) relies on."""
+    config = a
+    for definition in b.dropped(a):
+        config = config.without_structure(definition)
+    for definition in b.added(a):
+        config = config.with_structure(definition)
+    assert config == b

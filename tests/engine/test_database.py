@@ -42,6 +42,41 @@ class TestCatalog:
         db.execute("DROP TABLE u")
         assert "ix_u" not in db.indexes_by_name
 
+    def test_drop_table_drops_every_dependent_structure(self, db):
+        """Regression: no index or view — compressed variants
+        included — may outlive its base table, and the surviving
+        tables' structures must be untouched."""
+        from repro.core.structures import Compression
+        from repro.sqlengine.views import ViewDef
+        survivor = db.create_index(IndexDef("t", ("a",)))
+        db.create_table("u", [("x", "INTEGER"), ("y", "INTEGER")])
+        db.bulk_load("u", {"x": np.arange(10), "y": np.arange(10)})
+        db.create_index(IndexDef("u", ("x",)))
+        db.create_index(IndexDef("u", ("x", "y"),
+                                 Compression.HEAVY))
+        db.create_view(ViewDef("u", ("x", "y"),
+                               Compression.LIGHT))
+        db.drop_table("u")
+        assert db.indexes_for("u") == []
+        assert db.views_for("u") == []
+        assert db.current_configuration("u") == frozenset()
+        # Dependents of other tables survive untouched.
+        assert db.current_configuration() == \
+            frozenset({survivor.definition})
+
+    def test_drop_table_invalidates_dependent_buffer_objects(self, db):
+        db.create_table("u", [("x", "INTEGER")])
+        db.bulk_load("u", {"x": np.arange(100)})
+        index = db.create_index(IndexDef("u", ("x",)))
+        object_id = index.object_id
+        db.drop_table("u")
+        # The catalog no longer references the object; a fresh index
+        # on a new table must get a fresh object id.
+        db.create_table("v", [("x", "INTEGER")])
+        db.bulk_load("v", {"x": np.arange(100)})
+        fresh = db.create_index(IndexDef("v", ("x",)))
+        assert fresh.object_id != object_id
+
     def test_create_index_and_lookup(self, db):
         db.create_index(IndexDef("t", ("a",)))
         assert db.find_index(IndexDef("t", ("a",))) is not None

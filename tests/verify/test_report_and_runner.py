@@ -60,7 +60,7 @@ def test_runner_covers_all_families():
                               nrows=1_000, traces=1)
     assert [r.family for r in report.results] == [
         "solvers", "invariants", "costservice", "groundtruth",
-        "planidentity", "scaleadvisor"]
+        "planidentity", "scaleadvisor", "deployment"]
     assert report.ok
     assert all(r.checks > 0 for r in report.results)
     assert report.seconds > 0
