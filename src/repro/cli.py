@@ -283,6 +283,12 @@ def _build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--traces", type=int, default=None,
                         help="live trace instances (default 1 quick "
                              "/ 2 full)")
+    verify.add_argument("--families", default=None,
+                        help="comma-separated check families to run "
+                             "(default: families 1-5, 7 and 8); "
+                             "also accepts 'faultresilience' "
+                             "(family 6) and 'banditsafety' "
+                             "(family 9)")
     verify.set_defaults(handler=_cmd_verify)
 
     chaos = sub.add_parser(
@@ -299,6 +305,11 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--quick", action="store_true",
                        help="stride the atomicity sweep and shrink "
                             "the fixtures to CI scale")
+    chaos.add_argument("--scenario", default=None,
+                       help="run one adversarial bandit scenario "
+                            "(shift, fault_storm, dead_structures, "
+                            "crash_deploy, thrash) through the "
+                            "safety-gated tuner instead of family 6")
     chaos.set_defaults(handler=_cmd_chaos)
 
     perf = sub.add_parser(
@@ -651,16 +662,48 @@ def _cmd_experiment(args) -> int:
 
 
 def _cmd_verify(args) -> int:
-    from .verify import run_verification
-    report = run_verification(seed=args.seed,
-                              instances=args.instances,
-                              quick=args.quick, nrows=args.rows,
-                              traces=args.traces)
+    from .verify import (CORE_FAMILIES, VerificationReport,
+                         run_bandit_safety, run_chaos,
+                         run_verification)
+    families = None
+    if args.families:
+        families = [f.strip() for f in args.families.split(",")
+                    if f.strip()]
+        unknown = [f for f in families
+                   if f not in CORE_FAMILIES
+                   and f not in ("faultresilience", "banditsafety")]
+        if unknown:
+            print(f"unknown verify families: {', '.join(unknown)}")
+            return 2
+    core = None if families is None else \
+        [f for f in families if f in CORE_FAMILIES]
+    reports = []
+    if core is None or core:
+        reports.append(run_verification(
+            seed=args.seed, instances=args.instances,
+            quick=args.quick, nrows=args.rows, traces=args.traces,
+            families=core))
+    if families is not None and "faultresilience" in families:
+        reports.append(run_chaos(seed=args.seed, quick=args.quick))
+    if families is not None and "banditsafety" in families:
+        reports.append(run_bandit_safety(seed=args.seed,
+                                         quick=args.quick))
+    report = VerificationReport(
+        results=[result for rep in reports for result in rep.results])
+    report.seconds = sum(rep.seconds for rep in reports)
     print(report.format())
     return 0 if report.ok else 1
 
 
 def _cmd_chaos(args) -> int:
+    if args.scenario:
+        from .faults.scenarios import run_scenario
+        report = run_scenario(args.scenario, seed=args.seed,
+                              quick=args.quick)
+        # Deterministic in (scenario, seed): no timing in the output,
+        # so scenario logs are diffable across runs.
+        print(report.format())
+        return 0 if report.ok else 1
     from .verify import run_chaos
     report = run_chaos(seed=args.seed, plans=args.plans,
                        quick=args.quick)

@@ -13,6 +13,8 @@ from .advisor import (Advisor, ConstrainedGraphAdvisor, GreedySeqAdvisor,
 from .costmatrix import (CostMatrices, CostProvider, MatrixCostProvider,
                          WhatIfCostProvider, build_cost_matrices,
                          supports_batching)
+from .bandit import (BanditDecision, BanditResult, BanditTuner,
+                     GateConfig, SafetyStats, default_arms)
 from .costservice import CostEstimationStats, CostService
 from .design import DesignRun, DesignSequence, design_from_indices
 from .greedy_seq import (GreedyCandidates, greedy_seq_candidates,
@@ -41,6 +43,8 @@ __all__ = [
     "Advisor", "ConstrainedGraphAdvisor", "GreedySeqAdvisor",
     "HybridAdvisor", "LPAdvisor", "MergingAdvisor", "RankingAdvisor",
     "Recommendation", "StaticAdvisor", "UnconstrainedAdvisor",
+    "BanditDecision", "BanditResult", "BanditTuner", "GateConfig",
+    "SafetyStats", "default_arms",
     "CostEstimationStats", "CostMatrices", "CostProvider",
     "CostService", "MatrixCostProvider",
     "WhatIfCostProvider", "build_cost_matrices", "supports_batching",

@@ -286,6 +286,10 @@ class CostService:
         self._stale_units: Dict[Tuple[Tuple, Configuration], float] = {}
         self._degraded_units: Dict[Tuple[Tuple, Configuration],
                                    float] = {}
+        # Pessimistic scan bounds served by upper_bound_cost — pure
+        # functions of the statistics, epoch-scoped like the rest.
+        self._upper_bound_units: Dict[Tuple[Tuple, Configuration],
+                                      float] = {}
         # Persistent process pool (satellite of the summary-IR work):
         # replicas are built once per pool lifetime, not per batch.
         self._pool = None
@@ -358,6 +362,33 @@ class CostService:
             self.stats.trans_cache_hits += 1
         self.stats.trans_seconds += time.perf_counter() - start
         return units
+
+    def upper_bound_cost(self, segment: CostUnit,
+                         config: Configuration) -> float:
+        """A *sound* pessimistic bound on ``exec_cost(segment,
+        config)`` computed from statistics alone.
+
+        Folds :meth:`~repro.sqlengine.whatif.WhatIfOptimizer.
+        scan_upper_bound` over the unit's atoms — the same bound the
+        degradation ladder's last rung serves, offered here as a
+        first-class query. It never consults the fault injector, never
+        raises :class:`~repro.errors.EstimationUnavailable`, and never
+        advances ``degraded_estimates``: safety-gated consumers use it
+        to reason conservatively *about* an outage without taking any
+        degraded value as evidence.
+        """
+        self._check_epoch()
+        total = 0.0
+        for statement, weight in atoms_of(segment):
+            template = self._template(statement)
+            key = (template.key, config)
+            units = self._upper_bound_units.get(key)
+            if units is None:
+                units = self.optimizer.scan_upper_bound(
+                    template.representative, config.structures)
+                self._upper_bound_units[key] = units
+            total += units * weight
+        return total
 
     def size_bytes(self, config: Configuration) -> int:
         self._check_epoch()
@@ -534,6 +565,7 @@ class CostService:
         self._trans_cache.clear()
         self._size_cache.clear()
         self._degraded_units.clear()
+        self._upper_bound_units.clear()
         self._signature_units.clear()
         self._signature_of.clear()
         self._signature_keys.clear()

@@ -53,7 +53,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from ..errors import DesignError, InfeasibleProblemError, TransitionError
+from ..errors import (DesignError, InfeasibleProblemError, StorageError,
+                      TransitionError)
 from ..sqlengine.costmodel import MeteredCost
 from ..sqlengine.index import structure_sort_key
 from ..sqlengine.views import ViewDef
@@ -231,6 +232,12 @@ def execute_deployment(db, plan: DeploymentPlan) -> DeploymentReport:
     failed build leaves no trace, and everything executed before it
     stands). On failure the partial report is attached to the raised
     error as ``deployment_report``.
+
+    When a fault injector is attached to ``db``, the ``deploy_step``
+    site fires before every step that is about to run (skipped steps
+    fire nothing), so fault plans can crash the schedule *between*
+    its atomic actions; an injected fault surfaces as the same
+    resumable :class:`~repro.errors.TransitionError`.
     """
     current = Configuration(db.current_configuration())
     # Source structures the plan itself drops are legitimately absent
@@ -251,6 +258,7 @@ def execute_deployment(db, plan: DeploymentPlan) -> DeploymentReport:
     executed: List[DeploymentStep] = []
     skipped: List[DeploymentStep] = []
     drop_units = 0.0
+    injector = getattr(db, "fault_injector", None)
     for step in plan.steps:
         definition = step.definition
         if step.action == CREATE:
@@ -260,6 +268,8 @@ def execute_deployment(db, plan: DeploymentPlan) -> DeploymentReport:
             if already is not None:
                 skipped.append(step)
                 continue
+            _check_deploy_step(db, injector, step, executed, skipped,
+                               before, drop_units)
             try:
                 if isinstance(definition, ViewDef):
                     db.create_view(definition)
@@ -277,6 +287,8 @@ def execute_deployment(db, plan: DeploymentPlan) -> DeploymentReport:
             if materialized is None:
                 skipped.append(step)
                 continue
+            _check_deploy_step(db, injector, step, executed, skipped,
+                               before, drop_units)
             if isinstance(definition, ViewDef):
                 db.drop_view(materialized.name)
             else:
@@ -287,6 +299,27 @@ def execute_deployment(db, plan: DeploymentPlan) -> DeploymentReport:
         executed.append(step)
     return _deployment_report(db, executed, skipped, before,
                               drop_units, completed=True)
+
+
+def _check_deploy_step(db, injector, step: DeploymentStep, executed,
+                       skipped, before, drop_units: float) -> None:
+    """Fire the ``deploy_step`` fault site for a step about to run;
+    an injected fault halts the schedule as a resumable
+    :class:`~repro.errors.TransitionError` carrying the partial
+    report (everything already landed stands)."""
+    if injector is None:
+        return
+    try:
+        injector.on_deploy_step(step.label,
+                                db.buffer_manager.metrics)
+    except StorageError as exc:
+        err = TransitionError(
+            f"deployment halted before step {step.label!r}: {exc}",
+            structure=getattr(step.definition, "label", ""))
+        err.deployment_report = _deployment_report(
+            db, executed, skipped, before, drop_units,
+            completed=False)
+        raise err from exc
 
 
 # ----------------------------------------------------------------------

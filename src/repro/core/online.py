@@ -37,6 +37,35 @@ from .costmatrix import CostProvider
 from .design import DesignSequence
 from .structures import Configuration, EMPTY_CONFIGURATION
 
+#: Costing-delta keys that are running totals, not per-span counters —
+#: merging spans keeps the latest value instead of summing.
+_COSTING_TOTALS = ("unique_templates", "unique_signatures")
+
+
+def merge_costing(total: Optional[Dict[str, object]],
+                  delta: Dict[str, object]) -> Dict[str, object]:
+    """Fold one run's costing delta into an accumulated total.
+
+    Counter fields add; the distinct-key totals keep the later value;
+    the derived ``cache_hit_rate`` is recomputed from the merged call
+    counters so it reflects the whole accumulated span.
+    """
+    if total is None:
+        return dict(delta)
+    merged = dict(total)
+    for key, value in delta.items():
+        if key in _COSTING_TOTALS:
+            merged[key] = value
+        elif key == "cache_hit_rate":
+            continue
+        else:
+            merged[key] = merged.get(key, 0) + value
+    calls = merged.get("whatif_calls", 0)
+    avoided = merged.get("whatif_calls_avoided", 0)
+    requests = calls + avoided
+    merged["cache_hit_rate"] = (avoided / requests) if requests else 0.0
+    return merged
+
 
 @dataclass(frozen=True)
 class OnlineDecision:
@@ -64,11 +93,18 @@ class OnlineResult:
             a :class:`~repro.core.costservice.CostService`; online
             tuning is the heaviest scalar consumer — one estimate per
             candidate per statement — so the service's template cache
-            matters most here.
+            matters most here. Like every other field, this covers the
+            whole *accumulated* run: a resumed call
+            (``run(reset=False)``) merges its counter movement into
+            the previous calls' instead of re-reporting only the tail.
         deferrals: statements at which the tuner refused to update its
             evidence or change designs because estimates were
             unavailable or served degraded (a degraded estimate is
             never treated as exact evidence).
+        safety: the tuner's self-protection counters, split by cause —
+            ``{"deferrals", "unavailable_deferrals",
+            "degraded_deferrals"}`` — reported alongside ``costing``
+            and, like it, cumulative across resumed runs.
     """
 
     design: DesignSequence
@@ -78,6 +114,7 @@ class OnlineResult:
     decisions: List[OnlineDecision]
     costing: Optional[Dict[str, object]] = None
     deferrals: int = 0
+    safety: Optional[Dict[str, object]] = None
 
     @property
     def change_count(self) -> int:
@@ -138,6 +175,11 @@ class OnlineTuner:
         self._exec_cost = 0.0
         self._trans_cost = 0.0
         self._deferrals = 0
+        self._unavailable_deferrals = 0
+        self._degraded_deferrals = 0
+        # Accumulated costing across resumed runs (None until the
+        # first run of a provider that supports snapshots completes).
+        self._costing_total: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
 
@@ -171,6 +213,7 @@ class OnlineTuner:
                 # (the assignment stands) but its cost is unknowable
                 # right now; defer the whole observation.
                 self._deferrals += 1
+                self._unavailable_deferrals += 1
                 continue
             decision = self._observe(segment, i)
             if decision is not None:
@@ -180,18 +223,7 @@ class OnlineTuner:
         self._position += len(statements)
         if not self._assignments:
             raise DesignError("empty statement stream")
-        design = DesignSequence(self.initial, list(self._assignments))
-        costing = None
-        if snapshot is not None:
-            costing = self.provider.stats_delta(snapshot)
-        return OnlineResult(design=design,
-                            total_cost=self._exec_cost +
-                            self._trans_cost,
-                            exec_cost=self._exec_cost,
-                            trans_cost=self._trans_cost,
-                            decisions=list(self._decisions),
-                            costing=costing,
-                            deferrals=self._deferrals)
+        return self._result(snapshot)
 
     def run_phases(self, phases: Sequence[PhaseSummary],
                    reset: bool = True) -> OnlineResult:
@@ -223,6 +255,7 @@ class OnlineTuner:
                                                            config)
             except EstimationUnavailable:
                 self._deferrals += 1
+                self._unavailable_deferrals += 1
                 continue
             decision = self._observe(phase, i)
             if decision is not None:
@@ -232,10 +265,27 @@ class OnlineTuner:
         self._position += raw_statements
         if not self._assignments:
             raise DesignError("empty phase stream")
+        return self._result(snapshot)
+
+    # ------------------------------------------------------------------
+
+    def _result(self, snapshot) -> OnlineResult:
+        """Build the whole-accumulated-run result, folding this call's
+        costing delta into the running total so resumed runs report
+        the same cumulative span that costs and deferrals already do.
+        """
         design = DesignSequence(self.initial, list(self._assignments))
-        costing = None
         if snapshot is not None:
-            costing = self.provider.stats_delta(snapshot)
+            self._costing_total = merge_costing(
+                self._costing_total,
+                self.provider.stats_delta(snapshot))
+        costing = None if self._costing_total is None \
+            else dict(self._costing_total)
+        safety: Dict[str, object] = {
+            "deferrals": self._deferrals,
+            "unavailable_deferrals": self._unavailable_deferrals,
+            "degraded_deferrals": self._degraded_deferrals,
+        }
         return OnlineResult(design=design,
                             total_cost=self._exec_cost +
                             self._trans_cost,
@@ -243,9 +293,8 @@ class OnlineTuner:
                             trans_cost=self._trans_cost,
                             decisions=list(self._decisions),
                             costing=costing,
-                            deferrals=self._deferrals)
-
-    # ------------------------------------------------------------------
+                            deferrals=self._deferrals,
+                            safety=safety)
 
     def _provider_degraded(self) -> int:
         """The provider's degraded-estimate counter (0 when the
@@ -276,9 +325,11 @@ class OnlineTuner:
                 for definition in self.candidates}
         except EstimationUnavailable:
             self._deferrals += 1
+            self._unavailable_deferrals += 1
             return None
         if self._provider_degraded() != degraded_before:
             self._deferrals += 1
+            self._degraded_deferrals += 1
             return None
         best_candidate: Optional[IndexDef] = None
         best_benefit = 0.0

@@ -52,14 +52,21 @@ FAMILY_DESCRIPTION = ("catalog/buffer/metrics atomicity under injected "
                       "crashes the advisors")
 
 
-def chaos_database(seed: int, nrows: int = 1200) -> Database:
-    """A small populated database for fault-injection fixtures."""
+def chaos_database(seed: int, nrows: int = 1200,
+                   columns: Tuple[str, ...] = ("a", "b", "c"),
+                   value_range: Tuple[int, int] = (0, 100)) -> Database:
+    """A small populated database for fault-injection fixtures.
+
+    The defaults are the family-6 fixture; the adversarial scenario
+    library (:mod:`repro.faults.scenarios`) reuses it with the paper's
+    four columns and value domain.
+    """
     rng = np.random.default_rng(seed)
     db = Database()
-    db.create_table("t", [("a", "INTEGER"), ("b", "INTEGER"),
-                          ("c", "INTEGER")])
-    db.bulk_load("t", {column: rng.integers(0, 100, nrows)
-                       for column in ("a", "b", "c")})
+    db.create_table("t", [(column, "INTEGER") for column in columns])
+    lo, hi = value_range
+    db.bulk_load("t", {column: rng.integers(lo, hi, nrows)
+                       for column in columns})
     return db
 
 

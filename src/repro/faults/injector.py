@@ -14,6 +14,10 @@ site           where the hook fires
                of the B+-tree bulk load
 ``view_build`` :meth:`MaterializedView._build` entry
 ``estimate``   :meth:`WhatIfOptimizer.estimate_statement` entry
+``deploy_step`` :func:`~repro.core.deployment.execute_deployment`,
+               before each scheduled create/drop (keyed by the step
+               label), so a plan can crash *between* the
+               individually-atomic actions of a deployment
 =============  ====================================================
 
 Faults come in three kinds: ``transient`` (raises
@@ -53,7 +57,7 @@ SLOW = "slow"
 
 #: Injection sites known to the engine.
 SITES = ("page_read", "page_write", "heap_load", "index_build",
-         "view_build", "estimate")
+         "view_build", "estimate", "deploy_step")
 
 _KINDS = (TRANSIENT, PERMANENT, SLOW)
 
@@ -192,6 +196,13 @@ class FaultInjector:
         """Mid-build hook (``heap_load``/``index_build``/
         ``view_build``), keyed by the structure's label."""
         self._check(site, label, metrics)
+
+    def on_deploy_step(self, label: str, metrics=None) -> None:
+        """Deployment-schedule hook: fires before each planned
+        create/drop of :func:`~repro.core.deployment.
+        execute_deployment`, keyed by the step label — the tool for
+        crashing a deployment *between* its atomic actions."""
+        self._check("deploy_step", label, metrics)
 
     def on_estimate(self, key=None) -> None:
         """Estimation-site hook; storage faults become

@@ -23,7 +23,13 @@ check families:
 7. scale advisor — the compressed workload-summary formulation fills
    bit-identical cost matrices, and the LP-relaxation solver's
    certified interval contains the exact DP optimum while its
-   solution stays feasible.
+   solution stays feasible;
+9. bandit safety — the safety-gated online bandit tuner stays within
+   its regression bound of stay-put under every adversarial chaos
+   scenario, never decides on degraded evidence, and respects its
+   what-if call budget (:mod:`repro.faults.scenarios`, run via
+   ``repro verify --families banditsafety`` or
+   ``repro chaos --scenario``).
 
 Entry points: ``repro verify`` on the command line,
 :func:`~repro.verify.runner.run_verification` from code, and
@@ -41,7 +47,8 @@ from .generators import (MatrixInstance, TraceInstance,
                          matrix_instances, random_matrix_instance,
                          random_trace_problem)
 from .report import (CheckFailure, CheckResult, VerificationReport)
-from .runner import run_chaos, run_verification
+from .runner import (CORE_FAMILIES, run_bandit_safety, run_chaos,
+                     run_verification)
 
 __all__ = [
     "DEFAULT_GROUND_TRUTH_BUDGETS",
@@ -50,7 +57,9 @@ __all__ = [
     "check_constrained_invariants", "check_cost_service",
     "check_ground_truth", "check_lp_bounds", "check_plan_identity",
     "check_solver_equivalence", "check_summary_formulation",
+    "CORE_FAMILIES",
     "matrix_instances", "random_matrix_instance",
     "random_trace_problem", "replay_ranking_failures",
-    "run_chaos", "run_verification", "solver_agreement_failures",
+    "run_bandit_safety", "run_chaos", "run_verification",
+    "solver_agreement_failures",
 ]

@@ -16,8 +16,9 @@ is cheap and is the one that must cover >= 50 instances in CI.
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import Optional, Sequence
 
+from ..errors import DesignError
 from .checks import (check_constrained_invariants, check_cost_service,
                      check_deployment, check_ground_truth,
                      check_lp_bounds, check_plan_identity,
@@ -26,11 +27,19 @@ from .checks import (check_constrained_invariants, check_cost_service,
 from .generators import matrix_instances, random_trace_problem
 from .report import CheckResult, VerificationReport
 
+#: Families 1-5, 7 and 8 — the ones :func:`run_verification` owns.
+#: Family 6 (``faultresilience``) runs via :func:`run_chaos`; family
+#: 9 (``banditsafety``) via :func:`run_bandit_safety`.
+CORE_FAMILIES = ("solvers", "invariants", "costservice",
+                 "groundtruth", "planidentity", "scaleadvisor",
+                 "deployment")
+
 
 def run_verification(seed: int = 0, instances: int = 50,
                      quick: bool = False,
                      nrows: Optional[int] = None,
-                     traces: Optional[int] = None
+                     traces: Optional[int] = None,
+                     families: Optional[Sequence[str]] = None
                      ) -> VerificationReport:
     """Run check families 1-5, 7 and 8.
 
@@ -41,7 +50,19 @@ def run_verification(seed: int = 0, instances: int = 50,
         nrows: table rows per trace instance (default 4000 quick,
             20000 full).
         traces: live trace instances (default 1 quick, 2 full).
+        families: subset of :data:`CORE_FAMILIES` to run (all when
+            omitted); instances and traces a selection never touches
+            are skipped entirely.
     """
+    if families is None:
+        selected = set(CORE_FAMILIES)
+    else:
+        selected = set(families)
+        unknown = selected.difference(CORE_FAMILIES)
+        if unknown:
+            raise DesignError(
+                f"unknown verify families: {sorted(unknown)}; "
+                f"core families are {', '.join(CORE_FAMILIES)}")
     start = time.perf_counter()
     if nrows is None:
         nrows = 4_000 if quick else 20_000
@@ -75,24 +96,38 @@ def run_verification(seed: int = 0, instances: int = 50,
                       "feasible, never worse than unscheduled, and "
                       "land exactly on the target")
 
-    for instance in matrix_instances(seed, instances):
-        check_solver_equivalence(instance, solvers)
-        check_constrained_invariants(instance, invariants)
-        check_lp_bounds(instance, scaleadvisor)
+    matrix_checks = (("solvers", check_solver_equivalence, solvers),
+                     ("invariants", check_constrained_invariants,
+                      invariants),
+                     ("scaleadvisor", check_lp_bounds, scaleadvisor))
+    trace_checks = (("costservice", check_cost_service, costservice),
+                    ("groundtruth", check_ground_truth, groundtruth),
+                    ("planidentity", check_plan_identity,
+                     planidentity),
+                    ("scaleadvisor", check_summary_formulation,
+                     scaleadvisor),
+                    ("deployment", check_deployment, deployment))
 
-    for t in range(traces):
-        trace = random_trace_problem(seed + t, nrows=nrows,
-                                     n_blocks=n_blocks,
-                                     block_size=block_size)
-        check_cost_service(trace, costservice)
-        check_ground_truth(trace, groundtruth)
-        check_plan_identity(trace, planidentity)
-        check_summary_formulation(trace, scaleadvisor)
-        check_deployment(trace, deployment)
+    if any(family in selected for family, _, _ in matrix_checks):
+        for instance in matrix_instances(seed, instances):
+            for family, check, result in matrix_checks:
+                if family in selected:
+                    check(instance, result)
+
+    if any(family in selected for family, _, _ in trace_checks):
+        for t in range(traces):
+            trace = random_trace_problem(seed + t, nrows=nrows,
+                                         n_blocks=n_blocks,
+                                         block_size=block_size)
+            for family, check, result in trace_checks:
+                if family in selected:
+                    check(trace, result)
 
     report = VerificationReport(
-        results=[solvers, invariants, costservice, groundtruth,
-                 planidentity, scaleadvisor, deployment])
+        results=[result for result in
+                 (solvers, invariants, costservice, groundtruth,
+                  planidentity, scaleadvisor, deployment)
+                 if result.family in selected])
     report.seconds = time.perf_counter() - start
     return report
 
@@ -132,5 +167,36 @@ def run_chaos(seed: int = 0, plans: int = 3,
                                            quick=quick)
     chaos.check_degradation(resilience, seed, quick=quick)
     report = VerificationReport(results=[resilience])
+    report.seconds = time.perf_counter() - start
+    return report
+
+
+def run_bandit_safety(seed: int = 0, seeds: int = 2,
+                      quick: bool = False) -> VerificationReport:
+    """Run check family 9 (``banditsafety``).
+
+    Sweeps every adversarial scenario in
+    :data:`repro.faults.scenarios.SCENARIOS` through the safety-gated
+    bandit tuner and audits the run on a clean (injector-free) twin:
+    realized cost within the regression bound of stay-put at every
+    observation prefix, no decision from degraded evidence, the
+    what-if call budget respected, and injector-off determinism per
+    seed. Fully deterministic in ``seed``.
+
+    Args:
+        seed: base seed; sweep seed i uses ``seed + i``.
+        seeds: seeds swept per scenario.
+        quick: run the scenarios' CI-gate layouts.
+    """
+    # Imported lazily, like chaos: the scenario library pulls in the
+    # live engine and the bandit stack.
+    from ..faults import scenarios
+
+    start = time.perf_counter()
+    banditsafety = CheckResult("banditsafety",
+                               scenarios.FAMILY_DESCRIPTION)
+    scenarios.check_bandit_safety(banditsafety, seed, seeds=seeds,
+                                  quick=quick)
+    report = VerificationReport(results=[banditsafety])
     report.seconds = time.perf_counter() - start
     return report

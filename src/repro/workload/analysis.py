@@ -108,6 +108,39 @@ def summary_profiles(summary: WorkloadSummary) -> List[BlockProfile]:
     return profiles
 
 
+def segment_profile(unit, block_index: int = -1) -> BlockProfile:
+    """The :class:`BlockProfile` of one cost unit (a
+    :class:`~repro.workload.segmentation.Segment` or a
+    :class:`~repro.workload.summary.PhaseSummary`).
+
+    The per-observation analogue of :func:`block_profiles` used by the
+    contextual bandit tuner: each atom contributes its weight, so raw
+    segments and compressed phases produce identical profiles. The
+    profile doubles as the bandit's *context* — its dominant column is
+    the context key — and a sequence of them feeds
+    :func:`detect_shifts_from_profiles` for online shift detection.
+    """
+    counts: Dict[str, float] = {}
+    total = 0.0
+    for statement, weight in atoms_of(unit):
+        key = _queried_column(statement) or "<other>"
+        counts[key] = counts.get(key, 0.0) + weight
+        total += weight
+    total = max(1.0, total)
+    return BlockProfile(
+        block_index=block_index,
+        frequencies={c: n / total for c, n in counts.items()})
+
+
+def dominant_column(profile: BlockProfile) -> str:
+    """The context key of a profile: its most frequent column
+    (deterministic — frequency descending, then column name)."""
+    if not profile.frequencies:
+        return "<other>"
+    return min(profile.frequencies.items(),
+               key=lambda item: (-item[1], item[0]))[0]
+
+
 def detect_shifts(workload: Workload, block_size: int,
                   window: int = 4,
                   threshold: float = 0.25) -> ShiftReport:

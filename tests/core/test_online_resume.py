@@ -131,3 +131,92 @@ def test_unavailable_estimates_defer_observation():
     # Deferred statements moved no evidence but the stream still
     # produced a full-length design.
     assert len(result.design.assignments) == len(stmts)
+    # The safety counters expose the deferral split: these were all
+    # unavailable estimates, none degraded.
+    assert result.safety == {"deferrals": 3,
+                             "unavailable_deferrals": 3,
+                             "degraded_deferrals": 0}
+
+
+def test_safety_counters_survive_resume():
+    """Deferrals recorded before an interruption are still in the
+    cumulative result after resuming with ``reset=False``."""
+    stmts = statements(40)
+    n = len(stmts)
+    inner = make_provider(
+        stmts, lambda i, c: phase_cost(i, c, n // 2, n),
+        build_cost=5.0)
+
+    def flaky():
+        return _FlakyProvider(inner, bad_indices={3, 4, 25})
+
+    whole = OnlineTuner([A, B], flaky(), decay=0.95,
+                        build_factor=1.5, cooldown=3).run(stmts)
+    assert whole.safety["unavailable_deferrals"] == 3
+
+    tuner = OnlineTuner([A, B], flaky(), decay=0.95,
+                        build_factor=1.5, cooldown=3)
+    first = tuner.run(stmts[:10])
+    assert first.safety["unavailable_deferrals"] == 2
+    resumed = tuner.run(stmts[10:], reset=False)
+    assert resumed.safety == whole.safety
+    assert resumed.deferrals == whole.deferrals
+
+
+class _CountingProvider:
+    """Synthetic provider with online-costing counters: exposes the
+    ``stats_snapshot``/``stats_delta`` pair the tuner folds into
+    ``OnlineResult.costing``."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = 0
+
+    def exec_cost(self, segment, config):
+        self.calls += 1
+        return self.inner.exec_cost(segment, config)
+
+    def trans_cost(self, old, new):
+        return self.inner.trans_cost(old, new)
+
+    def size_bytes(self, config):
+        return 0
+
+    def stats_snapshot(self):
+        return self.calls
+
+    def stats_delta(self, since):
+        return {"whatif_calls": self.calls - since,
+                "whatif_calls_avoided": 0,
+                "unique_templates": 7,
+                "cache_hit_rate": 0.0}
+
+
+def test_costing_accumulates_across_resume():
+    """``OnlineResult.costing`` covers the whole accumulated run, not
+    just the statements since the last ``run`` call."""
+    stmts = statements(40)
+    n = len(stmts)
+
+    def counting():
+        return _CountingProvider(make_provider(
+            stmts, lambda i, c: phase_cost(i, c, n // 2, n),
+            build_cost=5.0))
+
+    whole_provider = counting()
+    whole = OnlineTuner([A, B], whole_provider, decay=0.95,
+                        build_factor=1.5, cooldown=3).run(stmts)
+    assert whole.costing["whatif_calls"] == whole_provider.calls
+
+    split_provider = counting()
+    tuner = OnlineTuner([A, B], split_provider, decay=0.95,
+                        build_factor=1.5, cooldown=3)
+    first = tuner.run(stmts[:15])
+    resumed = tuner.run(stmts[15:], reset=False)
+    # Counters add across the interruption; the distinct-key totals
+    # keep the later value instead of double-counting.
+    assert resumed.costing["whatif_calls"] == split_provider.calls
+    assert resumed.costing["whatif_calls"] > \
+        first.costing["whatif_calls"]
+    assert resumed.costing["unique_templates"] == 7
+    assert resumed.costing["cache_hit_rate"] == 0.0

@@ -147,6 +147,68 @@ def test_failed_build_then_clean_build_is_bit_identical(db):
     assert ours.tree.height == theirs.tree.height
 
 
+class TestDeployStepSite:
+    """The ``deploy_step`` fault site: crash a deployment *between*
+    its atomic actions, then resume past everything that landed."""
+
+    def _plan(self, db):
+        from repro.core.costservice import CostService
+        from repro.core.deployment import schedule_deployment
+        from repro.core.structures import (Configuration,
+                                           EMPTY_CONFIGURATION)
+        target = Configuration({IndexDef("t", ("a",)),
+                                IndexDef("t", ("b",))})
+        service = CostService(db.what_if())
+        return target, schedule_deployment(
+            service, EMPTY_CONFIGURATION, target)
+
+    def test_crash_between_steps_is_resumable(self, db):
+        from repro.core.deployment import execute_deployment
+        from repro.core.structures import Configuration
+        target, plan = self._plan(db)
+        assert len(plan.steps) == 2
+
+        db.set_fault_injector(FaultInjector(
+            FaultPlan.single_shot("deploy_step", 1), seed=0))
+        with pytest.raises(TransitionError) as info:
+            execute_deployment(db, plan)
+        db.set_fault_injector(None)
+        partial = info.value.deployment_report
+        assert not partial.completed
+        assert len(partial.executed) == 1
+        # The first step's structure landed and survived the crash.
+        assert len(db.indexes_by_name) == 1
+
+        report = execute_deployment(db, plan)
+        assert report.completed
+        assert len(report.skipped) == 1
+        assert len(report.executed) == 1
+        assert Configuration(db.current_configuration()) == target
+
+    def test_skipped_steps_fire_no_faults(self, db):
+        from repro.core.deployment import execute_deployment
+        target, plan = self._plan(db)
+        execute_deployment(db, plan)
+        counter = FaultInjector(FaultPlan.none(), seed=0)
+        db.set_fault_injector(counter)
+        report = execute_deployment(db, plan)
+        db.set_fault_injector(None)
+        assert len(report.skipped) == len(plan.steps)
+        assert counter.calls["deploy_step"] == 0
+
+    def test_crash_before_first_step_leaves_nothing(self, db):
+        from repro.core.deployment import execute_deployment
+        _, plan = self._plan(db)
+        before = _state(db)
+        db.set_fault_injector(FaultInjector(
+            FaultPlan.single_shot("deploy_step", 0), seed=0))
+        with pytest.raises(TransitionError) as info:
+            execute_deployment(db, plan)
+        db.set_fault_injector(None)
+        assert not info.value.deployment_report.executed
+        assert _state(db) == before
+
+
 def test_bulk_load_drops_faulted_indexes_but_keeps_rows(db):
     definition = IndexDef("t", ("a",))
     db.create_index(definition)

@@ -1,0 +1,194 @@
+"""Property tests for the bandit safety gate.
+
+For *any* synthetic workload shape, gate configuration, and pattern
+of unavailable estimates, three properties must hold:
+
+1. the realized cost of the gated run — re-computed independently
+   from the recorded design sequence with the true cost function,
+   not the tuner's ledger — never exceeds the stay-put baseline by
+   more than ``regression_bound * stayput + slack``, at every
+   observation prefix;
+2. no evidence-driven switch is ever decided at an observation whose
+   estimates were unavailable (fail-safe reverts are exempt: safety
+   never waits for evidence);
+3. the what-if call budget is never exceeded in any single
+   observation.
+
+A 50-seed regression corpus then pins the live scenario library the
+same way (PRs 2/4 style): every (seed, scenario) cell must stay
+green, so a behavior change that silently weakens the gate fails
+loudly here.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (BanditTuner, Configuration,
+                        EMPTY_CONFIGURATION, GateConfig)
+from repro.errors import EstimationUnavailable
+from repro.faults.scenarios import run_scenario, scenario_names
+from repro.sqlengine import IndexDef
+from repro.workload import Statement
+
+import pytest
+
+A = IndexDef("t", ("a",))
+B = IndexDef("t", ("b",))
+CA = Configuration({A})
+CB = Configuration({B})
+ARMS = (CA, CB)
+
+OBSERVE_EVERY = 5
+BASELINE_COST = 100.0
+ARM_COSTS = (1.0, 40.0, 100.0, 250.0)
+MAX_COST = max(max(ARM_COSTS), BASELINE_COST)
+
+
+class PhaseProvider:
+    """Per-observation arm costs; baseline scans at a flat rate.
+
+    ``bad_obs`` observations raise ``EstimationUnavailable`` for
+    every estimate — the harshest degradation shape (not even the
+    baseline is estimable).
+    """
+
+    def __init__(self, phase_costs, bad_obs, build_cost):
+        self.phase_costs = phase_costs  # obs -> {arm: units/stmt}
+        self.bad_obs = frozenset(bad_obs)
+        self.build_cost = build_cost
+
+    def statement_cost(self, index, config):
+        if config == EMPTY_CONFIGURATION:
+            return BASELINE_COST
+        phase = self.phase_costs[index // OBSERVE_EVERY]
+        return phase[config]
+
+    def exec_cost(self, segment, config):
+        if segment.start // OBSERVE_EVERY in self.bad_obs:
+            raise EstimationUnavailable("injected", retryable=False)
+        return float(sum(self.statement_cost(i, config)
+                         for i in range(segment.start, segment.end)))
+
+    def trans_cost(self, old, new):
+        creates = set(new.structures) - set(old.structures)
+        drops = set(old.structures) - set(new.structures)
+        return self.build_cost * len(creates) + 1.0 * len(drops)
+
+    def upper_bound_cost(self, segment, config):
+        return MAX_COST * len(segment)
+
+    def size_bytes(self, config):
+        return 0
+
+
+def _realized_and_stayput_prefixes(provider, result, n_obs):
+    """Clean re-cost of the recorded run, observation by observation.
+
+    Mirrors the verify family's twin audit: transitions attributed to
+    their observation (fallback reverts before the segment, switches
+    after), execution from the true cost function.
+    """
+    pre, post = {}, {}
+    for decision in result.decisions:
+        bucket = pre if decision.fallback else post
+        units = provider.trans_cost(decision.old, decision.new)
+        bucket[decision.observation_index] = \
+            bucket.get(decision.observation_index, 0.0) + units
+    realized = stayput = 0.0
+    prefixes = []
+    for obs in range(n_obs):
+        realized += pre.get(obs, 0.0)
+        config = result.design.assignments[obs * OBSERVE_EVERY]
+        for i in range(obs * OBSERVE_EVERY,
+                       (obs + 1) * OBSERVE_EVERY):
+            realized += provider.statement_cost(i, config)
+            stayput += BASELINE_COST
+        realized += post.get(obs, 0.0)
+        prefixes.append((realized, stayput))
+    return prefixes
+
+
+@st.composite
+def gate_scenarios(draw):
+    n_obs = draw(st.integers(4, 12))
+    phase_costs = [
+        {arm: draw(st.sampled_from(ARM_COSTS)) for arm in ARMS}
+        for _ in range(n_obs)]
+    bad_obs = draw(st.sets(st.integers(0, n_obs - 1), max_size=3))
+    gate = GateConfig(
+        regression_bound=draw(st.sampled_from((0.05, 0.25, 0.5))),
+        slack_units=draw(st.sampled_from((0.0, 50.0, 200.0))),
+        call_budget=draw(st.sampled_from((None, 0, 1, 2))),
+        build_factor=draw(st.sampled_from((1.0, 2.0, 3.0))),
+        cooldown=draw(st.integers(0, 2)),
+        epsilon=draw(st.sampled_from((0.0, 0.3))))
+    build_cost = draw(st.sampled_from((5.0, 30.0, 80.0)))
+    seed = draw(st.integers(0, 10))
+    return n_obs, phase_costs, bad_obs, gate, build_cost, seed
+
+
+@given(scenario=gate_scenarios())
+@settings(max_examples=120, deadline=None)
+def test_gate_properties_hold_for_any_scenario(scenario):
+    n_obs, phase_costs, bad_obs, gate, build_cost, seed = scenario
+    provider = PhaseProvider(phase_costs, bad_obs, build_cost)
+    stmts = [Statement(f"SELECT a FROM t WHERE a = {i}")
+             for i in range(n_obs * OBSERVE_EVERY)]
+    tuner = BanditTuner(ARMS, provider, gate=gate,
+                        observe_every=OBSERVE_EVERY, seed=seed)
+    result = tuner.run(stmts)
+
+    # 1. Bounded regression vs stay-put, at every prefix.
+    for realized, stayput in _realized_and_stayput_prefixes(
+            provider, result, n_obs):
+        allowed = stayput * (1.0 + gate.regression_bound) + \
+            gate.slack_units
+        assert realized <= allowed + 1e-6, \
+            f"{realized} > {allowed} (stayput {stayput})"
+
+    # 2. No evidence-driven switch on degraded evidence.
+    assert result.safety["decisions_on_degraded"] == 0
+    for decision in result.decisions:
+        if not decision.fallback:
+            assert decision.observation_index not in bad_obs
+
+    # 3. The call budget holds in every observation.
+    if gate.call_budget is not None:
+        assert result.safety["max_step_probes"] <= gate.call_budget
+
+    # Fully-deferred observations defer: the counters add up.
+    assert result.safety["deferrals"] >= len(
+        set(bad_obs) & set(range(n_obs)))
+
+
+@given(scenario=gate_scenarios())
+@settings(max_examples=40, deadline=None)
+def test_gated_runs_are_deterministic(scenario):
+    n_obs, phase_costs, bad_obs, gate, build_cost, seed = scenario
+    stmts = [Statement(f"SELECT a FROM t WHERE a = {i}")
+             for i in range(n_obs * OBSERVE_EVERY)]
+
+    def run():
+        provider = PhaseProvider(phase_costs, bad_obs, build_cost)
+        return BanditTuner(ARMS, provider, gate=gate,
+                           observe_every=OBSERVE_EVERY,
+                           seed=seed).run(stmts)
+
+    first, second = run(), run()
+    assert first.decisions == second.decisions
+    assert first.design.assignments == second.design.assignments
+    assert first.total_cost == second.total_cost
+    assert first.safety == second.safety
+
+
+# ----------------------------------------------------------------------
+# 50-seed regression corpus over the live scenario library
+# ----------------------------------------------------------------------
+
+_CORPUS = [(seed, scenario_names()[seed % len(scenario_names())])
+           for seed in range(50)]
+
+
+@pytest.mark.parametrize("seed,name", _CORPUS)
+def test_scenario_corpus_stays_green(seed, name):
+    report = run_scenario(name, seed=seed, quick=True)
+    assert report.ok, report.format()
