@@ -330,6 +330,9 @@ def _build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--quick", action="store_true",
                       help="CI scale: shrink the table and blocks "
                            "(config/template spaces stay full size)")
+    perf.add_argument("--steal-grain", type=int, default=None,
+                      help="items per work-stealing micro-batch "
+                           "(default: adaptive, ~4 chunks/worker)")
     perf.add_argument("--out", default="BENCH_PERF.json",
                       help="report path (default BENCH_PERF.json)")
     perf.set_defaults(handler=_cmd_perf)
@@ -718,7 +721,8 @@ def _cmd_perf(args) -> int:
     report = run_perf(nrows=args.rows, block_size=args.block_size,
                       seed=args.seed, workers=args.workers,
                       quick=args.quick,
-                      speedup_floor=args.speedup_floor)
+                      speedup_floor=args.speedup_floor,
+                      steal_grain=args.steal_grain)
     with open(args.out, "w", encoding="utf-8") as handle:
         handle.write(report.to_json() + "\n")
     print(report.format())

@@ -35,15 +35,25 @@ cache. :class:`CostService` centralizes that work behind the
   every template and candidate structure ship once at pool init, so
   per-item messages are bare ``(index, template_id, structure_ids)``
   integer tuples (objects registered after pool creation ride along
-  as per-chunk deltas, each shipped at most once per chunk). Rows are
-  assigned to workers by deterministic least-loaded (LPT) chunking —
-  template skew can no longer pile most of a batch onto one worker —
-  and the merge is index-keyed: estimates are deterministic functions
-  of ``(template, config, stats)``, so the parallel matrix is
-  bit-identical to the serial one regardless of chunking or
-  completion order. Batches too small to amortize fan-out overhead
-  cut over to the serial path automatically (see
-  ``parallel_threshold``).
+  as per-chunk deltas, each shipped at most once per chunk). The
+  snapshot itself is *zero-copy* when the platform allows: histogram
+  boundary arrays are published once into a
+  ``multiprocessing.shared_memory`` block (:mod:`~repro.sqlengine.
+  shm_stats`) and every replica attaches read-only NumPy views
+  instead of unpickling its own copy (``shared_stats=False`` or an
+  unavailable platform falls back to the pickled snapshot). Pending
+  items are sliced — heaviest template row first — into many small
+  deterministic *micro-batches* (``scheduler="steal"``, the default)
+  so idle workers steal the long tail of a skewed batch instead of
+  idling behind one straggler chunk; ``scheduler="static"`` keeps the
+  one-LPT-chunk-per-worker layout for differential testing. Either
+  way the parent merges index-keyed results *streaming*, as each
+  micro-batch completes (``as_completed``), not behind a barrier:
+  estimates are deterministic functions of ``(template, config,
+  stats)``, so the matrix is bit-identical to the serial one
+  regardless of chunking, scheduler, or completion order. Batches
+  too small to amortize fan-out overhead cut over to the serial path
+  automatically (see ``parallel_threshold``).
 
 * **instrumentation** — :class:`CostEstimationStats` counts what-if
   calls issued vs avoided, per-level cache hits (statement /
@@ -77,13 +87,15 @@ changes (stats epoch bump / :meth:`CostService.invalidate`) and on
 
 from __future__ import annotations
 
+import math
+import os
 import time
 from dataclasses import dataclass, fields, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import EstimationUnavailable
+from ..errors import DesignError, EstimationUnavailable
 from ..faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from ..sqlengine.index import structure_sort_key
 from ..sqlengine.whatif import StatementTemplate, WhatIfOptimizer
@@ -125,6 +137,10 @@ class CostEstimationStats:
             ``unique_templates x configurations``).
         parallel_batches: batches whose pending estimates were fanned
             out over the process pool.
+        micro_batches: chunks submitted to the pool across all
+            parallel batches (with ``scheduler="steal"`` there are
+            several per worker; ``micro_batches / parallel_batches``
+            is the mean fan-out width).
         serial_cutover_batches: batches a parallel-capable service
             resolved serially because the pending-item count was below
             the fan-out threshold (adaptive serial cutover).
@@ -159,6 +175,7 @@ class CostEstimationStats:
     unique_templates: int = 0
     unique_signatures: int = 0
     parallel_batches: int = 0
+    micro_batches: int = 0
     serial_cutover_batches: int = 0
     exec_seconds: float = 0.0
     trans_seconds: float = 0.0
@@ -201,6 +218,88 @@ class CostEstimationStats:
         return out
 
 
+@dataclass(frozen=True)
+class ParallelBatchMetrics:
+    """Straggler diagnostics for one parallel batch.
+
+    Captured by :meth:`CostService._parallel_pending` from the
+    per-chunk ``(worker pid, busy seconds)`` telemetry each worker
+    returns alongside its results; exposed as
+    ``CostService.last_parallel_metrics`` and aggregated across a
+    bench leg by :func:`summarize_parallel_metrics`.
+
+    Attributes:
+        scheduler: ``"steal"`` or ``"static"``.
+        n_items: pending (template row, signature) items estimated.
+        n_chunks: chunks actually submitted to the pool.
+        n_workers: the service's configured worker count.
+        worker_busy: summed busy seconds per worker pid (only workers
+            that ran at least one chunk appear).
+        chunk_seconds: each chunk's busy time, in completion order.
+    """
+
+    scheduler: str
+    n_items: int
+    n_chunks: int
+    n_workers: int
+    worker_busy: Dict[int, float]
+    chunk_seconds: Tuple[float, ...]
+
+    @property
+    def busy_imbalance(self) -> float:
+        """``max worker busy / mean worker busy`` over the workers
+        that ran chunks — 1.0 is a perfectly level batch, the worker
+        count is the worst case (one worker did everything while the
+        others ran *something*)."""
+        total = sum(self.worker_busy.values())
+        if total <= 0.0 or not self.worker_busy:
+            return 1.0
+        return max(self.worker_busy.values()) \
+            * len(self.worker_busy) / total
+
+    @property
+    def tail_median_chunk_ratio(self) -> float:
+        """``slowest chunk / median chunk`` — how much longer the tail
+        chunk ran than a typical one. Large static chunks under skew
+        drive this up; grain-sized micro-batches pin it near 1."""
+        if not self.chunk_seconds:
+            return 1.0
+        median = float(np.median(self.chunk_seconds))
+        if median <= 0.0:
+            return 1.0
+        return max(self.chunk_seconds) / median
+
+
+def summarize_parallel_metrics(
+        batches: Sequence[Optional[ParallelBatchMetrics]]
+        ) -> Dict[str, object]:
+    """Aggregate per-batch straggler metrics across a measurement
+    span (busy time summed per worker pid, chunk durations pooled).
+    ``None`` entries — batches that cut over to serial — are skipped.
+    """
+    kept = [b for b in batches if b is not None]
+    if not kept:
+        return {"batches": 0, "micro_batches": 0,
+                "workers_observed": 0, "busy_imbalance": None,
+                "tail_median_chunk_ratio": None}
+    busy: Dict[int, float] = {}
+    chunks: List[float] = []
+    for batch in kept:
+        for pid, seconds in batch.worker_busy.items():
+            busy[pid] = busy.get(pid, 0.0) + seconds
+        chunks.extend(batch.chunk_seconds)
+    total = sum(busy.values())
+    imbalance = (max(busy.values()) * len(busy) / total
+                 if total > 0.0 else 1.0)
+    median = float(np.median(chunks)) if chunks else 0.0
+    ratio = (max(chunks) / median) if median > 0.0 else 1.0
+    return {"batches": len(kept),
+            "micro_batches": sum(b.n_chunks for b in kept),
+            "workers_observed": len(busy),
+            "busy_imbalance": imbalance,
+            "tail_median_chunk_ratio": ratio}
+
+
 class CostService:
     """Batched, cached, instrumented cost estimation.
 
@@ -239,6 +338,29 @@ class CostService:
             warm pool, twice that when the pool would have to be
             spun up first. The threshold only changes *where* an
             estimate runs, never its value.
+        scheduler: how pending items are carved into pool chunks.
+            ``"steal"`` (default) slices the batch heaviest-template-
+            row-first into many grain-sized micro-batches so idle
+            workers steal the long tail of a skewed batch;
+            ``"static"`` keeps one LPT chunk per worker (the pre-
+            stealing layout, retained for differential testing and
+            as the bench skew leg's baseline). Both schedulers merge
+            streaming and index-keyed — the choice never changes a
+            matrix entry, only wall-clock under skew.
+        steal_grain: items per micro-batch for the ``"steal"``
+            scheduler. ``None`` (default) adapts to the batch:
+            ``ceil(items / (4 x n_workers))``, i.e. about four
+            steals per worker. Smaller grains level better but pay
+            more dispatch overhead; ``1`` degenerates to one item
+            per message. Ignored under ``"static"``.
+        shared_stats: publish the catalog snapshot's histograms into
+            a ``multiprocessing.shared_memory`` block at pool init so
+            replicas attach zero-copy read-only views instead of
+            unpickling their own statistics (bit-identical either
+            way). ``False`` — or a platform without shared memory —
+            ships the classic pickled snapshot. The block's lifetime
+            is tied to the pool's: released on :meth:`close`, catalog
+            invalidation, and context-manager exit.
     """
 
     #: Largest ``unique sqls x configurations`` batch whose entries
@@ -248,18 +370,40 @@ class CostService:
     #: inserts inside every large matrix build.
     _L1_WARM_CELL_CAP = 250_000
 
+    #: Adaptive micro-batch sizing target: with ``steal_grain=None``
+    #: the steal scheduler aims for this many chunks per worker, so
+    #: the scheduling slack available for stealing scales with the
+    #: pool instead of with the batch.
+    _STEAL_BATCHES_PER_WORKER = 4
+
     def __init__(self, optimizer: WhatIfOptimizer,
                  selectivity_resolution: Optional[float] = None,
                  retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
                  decompose: bool = True,
                  n_workers: Optional[int] = None,
-                 parallel_threshold: Optional[int] = None):
+                 parallel_threshold: Optional[int] = None,
+                 scheduler: str = "steal",
+                 steal_grain: Optional[int] = None,
+                 shared_stats: bool = True):
+        if scheduler not in ("steal", "static"):
+            raise DesignError(
+                f"scheduler must be 'steal' or 'static', "
+                f"got {scheduler!r}")
+        if steal_grain is not None and steal_grain < 1:
+            raise DesignError("steal_grain must be >= 1")
         self.optimizer = optimizer
         self.selectivity_resolution = selectivity_resolution
         self.retry_policy = retry_policy
         self.decompose = decompose
         self.n_workers = n_workers
         self.parallel_threshold = parallel_threshold
+        self.scheduler = scheduler
+        self.steal_grain = steal_grain
+        self.shared_stats = shared_stats
+        #: Straggler diagnostics of the most recent parallel batch
+        #: (``None`` until one runs; serial cutovers leave it alone).
+        self.last_parallel_metrics: Optional[ParallelBatchMetrics] = \
+            None
         self.stats = CostEstimationStats()
         self._stats_epoch = optimizer.stats_epoch
         self._template_by_sql: Dict[str, StatementTemplate] = {}
@@ -293,6 +437,9 @@ class CostService:
         # Persistent process pool (satellite of the summary-IR work):
         # replicas are built once per pool lifetime, not per batch.
         self._pool = None
+        # Owner side of the zero-copy stats block the current pool's
+        # replicas attach to; lifetime is exactly the pool's.
+        self._shm_block = None
         # Worker-protocol registries: templates and structures are
         # interned to integer ids so per-item pool messages carry only
         # integers. Entries below the watermarks shipped with the
@@ -319,12 +466,21 @@ class CostService:
             pass  # interpreter shutdown: pool may already be gone
 
     def close(self) -> None:
-        """Release the persistent worker pool (idempotent). The
-        service remains usable — the next parallel batch recreates
-        the pool."""
+        """Release the persistent worker pool and its shared-memory
+        stats block (idempotent). The service remains usable — the
+        next parallel batch recreates both."""
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+        self._release_shm()
+
+    def _release_shm(self) -> None:
+        """Unlink the zero-copy stats block (idempotent). Called
+        after the pool is gone — live replicas keep their own
+        attachments mapped, so shutdown order cannot fault them."""
+        block, self._shm_block = self._shm_block, None
+        if block is not None:
+            block.close()
 
     # ------------------------------------------------------------------
     # CostProvider protocol (scalar path)
@@ -784,32 +940,105 @@ class CostService:
                           ) -> List[float]:
         """Fan pending estimates out over the persistent process pool.
 
-        Work is partitioned by template row (all signatures of one
-        template go to the same worker, so replica analyze/geometry
-        caches stay hot), rows are assigned to the least-loaded chunk
-        by pending-item count (deterministic LPT — heaviest row
-        first, first-appearance order breaking ties), and per-item
-        messages are ``(index, template_id, structure_ids)`` integer
-        tuples resolved against the registries shipped at pool init.
-        Results merge by item index — completion order, chunking, and
-        worker count never influence the output, so the matrix is
+        The default ``"steal"`` scheduler flattens the batch heaviest
+        template row first and slices it into grain-sized
+        micro-batches (:meth:`_microbatch_items`): the heavy head is
+        in flight across the whole pool while the tail is stolen by
+        whichever worker drains its queue first. ``"static"`` keeps
+        the one-LPT-chunk-per-worker layout (:meth:`_partition_items`)
+        as a differential baseline. Per-item messages are ``(index,
+        template_id, structure_ids)`` integer tuples resolved against
+        the registries shipped at pool init.
+
+        Chunks are submitted individually and merged *streaming*: the
+        parent writes each chunk's index-keyed results as its future
+        completes (``as_completed``), never behind a whole-batch
+        barrier. Estimates are deterministic functions of
+        ``(template, config, stats)`` and every index is written by
+        exactly one chunk, so completion order, chunking, scheduler,
+        and worker count never influence the output — the matrix is
         bit-identical to a serial build.
+
+        Each worker reports ``(pid, busy seconds)`` with its results;
+        the batch's straggler profile lands in
+        :attr:`last_parallel_metrics`.
 
         The pool is created lazily on the first parallel batch and
         reused for the service's lifetime (until :meth:`close` or a
         catalog invalidation) — replica construction used to dominate
         small batches when a fresh pool was spun up every call.
         """
-        chunks = self._partition_items(templates, configs, items)
+        from concurrent.futures import as_completed
+
+        if self.scheduler == "static":
+            chunks = self._partition_items(templates, configs, items)
+        else:
+            chunks = self._microbatch_items(templates, configs, items)
         pool = self._ensure_pool()
-        payloads = [self._chunk_payload(chunk) for chunk in chunks]
+        futures = [pool.submit(_estimate_chunk,
+                               self._chunk_payload(chunk))
+                   for chunk in chunks]
         values = [0.0] * len(items)
-        for chunk_values in pool.map(_estimate_chunk, payloads):
+        worker_busy: Dict[int, float] = {}
+        chunk_seconds: List[float] = []
+        for future in as_completed(futures):
+            pid, busy, chunk_values = future.result()
+            worker_busy[pid] = worker_busy.get(pid, 0.0) + busy
+            chunk_seconds.append(busy)
             for index, value in chunk_values:
                 values[index] = value
+        self.last_parallel_metrics = ParallelBatchMetrics(
+            scheduler=self.scheduler, n_items=len(items),
+            n_chunks=len(chunks), n_workers=self.n_workers,
+            worker_busy=worker_busy,
+            chunk_seconds=tuple(chunk_seconds))
         self.stats.whatif_calls += len(items)
         self.stats.parallel_batches += 1
+        self.stats.micro_batches += len(chunks)
         return values
+
+    def _grain_for(self, n_items: int) -> int:
+        """Items per micro-batch: the explicit ``steal_grain`` if
+        given, else sized so the batch yields about
+        ``_STEAL_BATCHES_PER_WORKER`` chunks per worker."""
+        if self.steal_grain is not None:
+            return self.steal_grain
+        return max(1, math.ceil(
+            n_items / (self._STEAL_BATCHES_PER_WORKER
+                       * self.n_workers)))
+
+    def _microbatch_items(self, templates, configs, items
+                          ) -> List[List[Tuple[int, int,
+                                               Tuple[int, ...]]]]:
+        """Slice pending items into grain-sized micro-batches,
+        heaviest template row first.
+
+        The flattening order mirrors the static scheduler's LPT
+        priority (heaviest row's items first, first-appearance order
+        breaking ties, item order preserved within a row) so the
+        long-running head of a skewed batch enters the pool
+        immediately and the cheap tail forms many small stealable
+        chunks behind it. The slicing is a pure function of the batch
+        and the grain — fully deterministic."""
+        counts: Dict[int, int] = {}
+        order: List[int] = []
+        row_messages: Dict[int, List[Tuple[int, int,
+                                           Tuple[int, ...]]]] = {}
+        for index, ((r, _sig), cols) in enumerate(items):
+            if r not in counts:
+                counts[r] = 0
+                order.append(r)
+            counts[r] += 1
+            row_messages.setdefault(r, []).append(
+                (index, self._template_id(templates[r]),
+                 self._config_structure_ids(configs[cols[0]])))
+        rank = {r: position for position, r in enumerate(order)}
+        stream: List[Tuple[int, int, Tuple[int, ...]]] = []
+        for r in sorted(order, key=lambda r: (-counts[r], rank[r])):
+            stream.extend(row_messages[r])
+        grain = self._grain_for(len(stream))
+        return [stream[start:start + grain]
+                for start in range(0, len(stream), grain)]
 
     # -- worker protocol -----------------------------------------------
 
@@ -915,10 +1144,24 @@ class CostService:
     def _pool_initargs(self):
         """Initializer arguments for a new pool: the catalog snapshot
         plus everything registered so far (and advance the watermarks
-        — later registrations ship as per-chunk deltas)."""
+        — later registrations ship as per-chunk deltas).
+
+        With ``shared_stats`` the snapshot is the zero-copy variant:
+        histograms live in a shared-memory block owned by this
+        service (released with the pool) and the snapshot carries
+        only the picklable handle; replicas attach read-only views in
+        ``WhatIfOptimizer.from_snapshot``. When publication is not
+        possible the classic pickled snapshot ships instead."""
         self._pool_template_watermark = len(self._templates_by_id)
         self._pool_structure_watermark = len(self._structures_by_id)
-        return (self.optimizer.catalog_snapshot(),
+        if self.shared_stats:
+            snapshot, block = \
+                self.optimizer.shared_catalog_snapshot()
+            self._release_shm()
+            self._shm_block = block
+        else:
+            snapshot = self.optimizer.catalog_snapshot()
+        return (snapshot,
                 list(self._templates_by_id),
                 list(self._structures_by_id))
 
@@ -985,11 +1228,26 @@ def _replica_ready(_slot: int) -> bool:
 
 def _estimate_chunk(payload):
     """Estimate one worker's chunk of ``(index, template_id,
-    structure_ids)`` messages (after merging any registry deltas);
-    returns (index, units) pairs for the index-keyed merge."""
+    structure_ids)`` messages; returns ``(pid, busy_seconds,
+    [(index, units), ...])`` for the streaming index-keyed merge and
+    the straggler metrics.
+
+    Registry-delta merges are **idempotent and order-free** by
+    construction, which the work-stealing scheduler relies on:
+    micro-batches of one parallel batch land on workers in arbitrary
+    interleavings, and a delta entry may reach the same worker many
+    times (each chunk ships every above-watermark id it references).
+    Ids are allocated append-only by the parent and each id maps to
+    one immutable object forever, so ``dict.update`` with any subset,
+    any ordering, or any repetition of ``(id, object)`` pairs
+    converges to the same registry state — re-applying a delta is a
+    no-op overwrite of an identical value, and every chunk is
+    self-contained (it carries all delta entries its own items
+    need)."""
     template_delta, structure_delta, items = payload
     _TEMPLATE_REGISTRY.update(template_delta)
     _STRUCTURE_REGISTRY.update(structure_delta)
+    start = time.perf_counter()
     results = []
     for index, tid, sids in items:
         template = _TEMPLATE_REGISTRY[tid]
@@ -997,4 +1255,4 @@ def _estimate_chunk(payload):
         results.append(
             (index, _REPLICA.estimate_template(template,
                                                config).units))
-    return results
+    return (os.getpid(), time.perf_counter() - start, results)

@@ -1,0 +1,298 @@
+"""Zero-copy shared-memory statistics blocks for parallel costing.
+
+The parallel matrix builds in :class:`~repro.core.costservice.
+CostService` ship a :class:`~repro.sqlengine.whatif.CatalogSnapshot`
+to every worker process. The heavy part of a snapshot is the
+statistics: per-column equi-depth histograms whose boundary arrays
+each worker used to re-deserialize from its own pickled copy. This
+module publishes those arrays **once** into a single
+``multiprocessing.shared_memory`` block; workers attach read-only
+NumPy views onto the same physical pages instead of unpickling
+anything.
+
+The split is exact, not approximate:
+
+* :func:`publish_stats` concatenates every numeric column's histogram
+  boundaries into one float64 block and returns a
+  :class:`SharedStatsBlock` (owner side) whose picklable
+  :class:`SharedStatsHandle` carries the block name plus a scalar
+  *skeleton* of the statistics — table/column shapes, counts, domains,
+  and ``(offset, length)`` spans into the block. The handle is a few
+  hundred bytes regardless of histogram resolution.
+* :func:`attach_stats` maps the block and rebuilds
+  ``{table: TableStats}`` where each histogram's ``boundaries`` is a
+  **read-only float64 view** of the shared pages. The values are the
+  exact floats the owner wrote, and every estimator path
+  (``np.searchsorted``, interpolation) computes the same IEEE-754
+  operations on them, so attached statistics yield bit-identical
+  estimates to pickled ones — the verify harness's family 3 checks
+  shared-memory-vs-pickle matrices with ``np.array_equal``.
+
+Lifetime is owned by whoever called :func:`publish_stats` (in
+practice the cost service, which ties it to its worker-pool
+lifecycle): :meth:`SharedStatsBlock.close` unmaps *and unlinks* the
+block. Attachments hold their own mapping open (closing the owner
+never invalidates live attachments on POSIX), but new attachments
+fail once the owner unlinked. Block names are kernel-generated, so
+two services in one process can never collide.
+
+When ``multiprocessing.shared_memory`` is unavailable, the block
+cannot be created, or there are no histogram arrays worth sharing,
+:func:`publish_stats` returns ``None`` and callers fall back to the
+pickled-statistics path unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .stats import ColumnStats, EquiDepthHistogram, TableStats
+
+try:  # pragma: no cover - import guard for exotic platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+
+def shared_memory_available() -> bool:
+    """Whether this platform can publish shared-memory stats blocks."""
+    return _shared_memory is not None
+
+
+@dataclass(frozen=True)
+class HistogramRef:
+    """Span of one histogram's boundaries inside the shared block."""
+
+    offset: int  #: element (not byte) offset into the float64 block
+    length: int  #: number of boundary entries
+    total: int  #: the histogram's row total
+
+
+@dataclass(frozen=True)
+class ColumnSkeleton:
+    """Scalar fields of one :class:`ColumnStats` (arrays stay in the
+    block, referenced by ``histogram``)."""
+
+    name: str
+    n_values: int
+    n_distinct: int
+    min_value: Optional[float]
+    max_value: Optional[float]
+    histogram: Optional[HistogramRef]
+
+
+@dataclass(frozen=True)
+class TableSkeleton:
+    """Scalar fields of one :class:`TableStats`."""
+
+    table: str
+    nrows: int
+    n_pages: int
+    row_width: int
+    columns: Tuple[ColumnSkeleton, ...]
+
+
+@dataclass(frozen=True)
+class SharedStatsHandle:
+    """Picklable descriptor of a published stats block.
+
+    This is what actually travels to worker processes: a block name
+    and the scalar skeletons. Its pickled size is independent of
+    histogram resolution — the boundary arrays never leave the shared
+    pages.
+    """
+
+    block_name: str
+    n_floats: int
+    tables: Tuple[TableSkeleton, ...]
+
+
+class SharedStatsBlock:
+    """Owner side of a published block: unmaps and unlinks on
+    :meth:`close` (idempotent)."""
+
+    def __init__(self, shm, handle: SharedStatsHandle):
+        self._shm = shm
+        self.handle = handle
+
+    @property
+    def name(self) -> str:
+        return self.handle.block_name
+
+    def close(self) -> None:
+        """Release the block: unmap the owner's view and unlink the
+        name so the kernel reclaims the pages once the last attachment
+        goes away. New attachments fail after this."""
+        shm, self._shm = self._shm, None
+        if shm is not None:
+            shm.close()
+            # Re-register before unlinking: attachments in this
+            # process (or fork children sharing our tracker) may have
+            # unregistered the name (see _open_attachment), and
+            # unlink() unconditionally unregisters again. Registration
+            # is a set-add in the tracker, so this is idempotent and
+            # keeps the register/unregister ledger balanced.
+            try:
+                from multiprocessing import resource_tracker
+                resource_tracker.register(shm._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker internals
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
+
+
+class AttachedStats:
+    """Worker side: the rebuilt ``{table: TableStats}`` mapping plus
+    the shared-memory mapping that keeps its histogram views alive.
+
+    Keep this object referenced for as long as the statistics are in
+    use (the replica optimizer stores it); dropping it unmaps the
+    views' backing pages.
+    """
+
+    def __init__(self, stats: Dict[str, TableStats], shm):
+        self.stats = stats
+        self._shm = shm
+
+    def close(self) -> None:
+        shm, self._shm = self._shm, None
+        if shm is not None:
+            shm.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
+
+
+def _column_arrays(stats: Mapping[str, TableStats]):
+    """Yield ``(table, column, boundaries_as_float64)`` for every
+    histogram, in deterministic (table, column-insertion) order."""
+    for table in sorted(stats):
+        table_stats = stats[table]
+        for name, column in table_stats.columns.items():
+            if column.histogram is not None:
+                yield (table, name,
+                       np.asarray(column.histogram.boundaries,
+                                  dtype=np.float64))
+
+
+def publish_stats(stats: Mapping[str, TableStats]
+                  ) -> Optional[SharedStatsBlock]:
+    """Publish ``stats`` into one shared-memory block.
+
+    Returns ``None`` — callers keep the pickled path — when shared
+    memory is unavailable, the block cannot be allocated, or no
+    column carries a histogram (nothing worth sharing).
+    """
+    if _shared_memory is None:
+        return None
+    arrays = list(_column_arrays(stats))
+    n_floats = sum(len(array) for _t, _c, array in arrays)
+    if n_floats == 0:
+        return None
+    try:
+        shm = _shared_memory.SharedMemory(create=True,
+                                          size=n_floats * 8)
+    except OSError:  # pragma: no cover - e.g. /dev/shm exhausted
+        return None
+    block = np.ndarray((n_floats,), dtype=np.float64, buffer=shm.buf)
+    refs: Dict[Tuple[str, str], HistogramRef] = {}
+    cursor = 0
+    for table, column, array in arrays:
+        block[cursor:cursor + len(array)] = array
+        histogram = stats[table].columns[column].histogram
+        refs[(table, column)] = HistogramRef(
+            offset=cursor, length=len(array), total=histogram.total)
+        cursor += len(array)
+    tables = []
+    for table in sorted(stats):
+        table_stats = stats[table]
+        columns = tuple(
+            ColumnSkeleton(
+                name=column.name, n_values=column.n_values,
+                n_distinct=column.n_distinct,
+                min_value=column.min_value,
+                max_value=column.max_value,
+                histogram=refs.get((table, column.name)))
+            for column in table_stats.columns.values())
+        tables.append(TableSkeleton(
+            table=table_stats.table, nrows=table_stats.nrows,
+            n_pages=table_stats.n_pages,
+            row_width=table_stats.row_width, columns=columns))
+    handle = SharedStatsHandle(block_name=shm.name, n_floats=n_floats,
+                               tables=tuple(tables))
+    return SharedStatsBlock(shm, handle)
+
+
+def _open_attachment(name: str):
+    """Attach to a named block without adopting its lifetime.
+
+    A tracked attachment would let the attacher's resource tracker
+    unlink the block when that process exits uncleanly — including
+    spawned pool workers that merely attached (bpo-38119) — destroying
+    it for everyone else. Ownership is explicit instead: only the
+    :class:`SharedStatsBlock` owner stays tracked and unlinks, exactly
+    once, in ``close()``/``__del__``. Python 3.13+ skips tracking via
+    ``track=False``; older versions unregister right after attach.
+    """
+    try:
+        return _shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13
+        pass
+    shm = _shared_memory.SharedMemory(name=name)
+    try:
+        from multiprocessing import resource_tracker
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals moved
+        pass
+    return shm
+
+
+def attach_stats(handle: SharedStatsHandle) -> AttachedStats:
+    """Map the handle's block and rebuild the statistics with
+    read-only histogram views (zero-copy).
+
+    Raises ``FileNotFoundError`` when the block no longer exists
+    (owner closed it) and :class:`ImportError`-like errors when shared
+    memory is unsupported — callers treat both as a missing catalog.
+    """
+    if _shared_memory is None:  # pragma: no cover - platform guard
+        raise FileNotFoundError(
+            "shared memory unavailable on this platform")
+    shm = _open_attachment(handle.block_name)
+    block = np.ndarray((handle.n_floats,), dtype=np.float64,
+                       buffer=shm.buf)
+    block.flags.writeable = False
+    stats: Dict[str, TableStats] = {}
+    for table in handle.tables:
+        columns: Dict[str, ColumnStats] = {}
+        for skeleton in table.columns:
+            histogram = None
+            if skeleton.histogram is not None:
+                ref = skeleton.histogram
+                view = block[ref.offset:ref.offset + ref.length]
+                histogram = EquiDepthHistogram(boundaries=view,
+                                               total=ref.total)
+            columns[skeleton.name] = ColumnStats(
+                name=skeleton.name, n_values=skeleton.n_values,
+                n_distinct=skeleton.n_distinct,
+                min_value=skeleton.min_value,
+                max_value=skeleton.max_value, histogram=histogram)
+        stats[table.table] = TableStats(
+            table=table.table, nrows=table.nrows,
+            n_pages=table.n_pages, row_width=table.row_width,
+            columns=columns)
+    return AttachedStats(stats, shm)

@@ -41,6 +41,8 @@ from .planner import (AccessPath, QueryInfo, analyze_select,
                       choose_access_path, relevant_structures,
                       total_selectivity)
 from .schema import TableSchema
+from .shm_stats import SharedStatsBlock, SharedStatsHandle, attach_stats, \
+    publish_stats
 from .sql.ast import (DeleteStmt, InsertStmt, SelectStmt, Statement,
                       UpdateStmt)
 from .stats import TableStats
@@ -56,12 +58,25 @@ class CatalogSnapshot:
     deterministic in the snapshot, so worker estimates are
     bit-identical to the parent optimizer's for as long as the epoch
     matches — the cost service tears the pool down on epoch bumps.
+
+    Statistics travel one of two ways. The pickled path carries them
+    inline in ``stats``. The zero-copy path
+    (:meth:`WhatIfOptimizer.shared_catalog_snapshot`) leaves ``stats``
+    empty and sets ``stats_handle`` to a
+    :class:`~repro.sqlengine.shm_stats.SharedStatsHandle`;
+    :meth:`WhatIfOptimizer.from_snapshot` then attaches read-only
+    histogram views onto the publisher's shared-memory block instead
+    of re-deserializing anything. Both paths produce bit-identical
+    estimates.
     """
 
     schemas: Mapping[str, TableSchema]
     stats: Mapping[str, TableStats]
     params: CostParams
     stats_epoch: int
+    #: Set on zero-copy snapshots: the shared-memory descriptor the
+    #: replica attaches instead of reading ``stats``.
+    stats_handle: Optional["SharedStatsHandle"] = None
 
 
 @dataclass(frozen=True)
@@ -127,6 +142,10 @@ class WhatIfOptimizer:
         #: when set, every estimate entry is an ``estimate`` fault
         #: site (raising :class:`EstimationUnavailable`).
         self.fault_injector = fault_injector
+        #: Shared-memory attachment backing this optimizer's
+        #: statistics, when built from a zero-copy snapshot; pinned
+        #: here so the mapping outlives every estimate.
+        self._shm_attachment = None
         self._geometry_cache: Dict[Tuple[IndexDef, int], IndexGeometry] = {}
         self._analyze_cache: Dict[SelectStmt, QueryInfo] = {}
         #: Bumped whenever statistics change; template keys computed
@@ -267,14 +286,44 @@ class WhatIfOptimizer:
                                params=self.params,
                                stats_epoch=self.stats_epoch)
 
+    def shared_catalog_snapshot(self) -> Tuple[CatalogSnapshot,
+                                               Optional[SharedStatsBlock]]:
+        """A zero-copy snapshot: histograms published into a
+        shared-memory block, the snapshot carrying only the block's
+        handle (plus schemas/params/epoch). Returns ``(snapshot,
+        block)``; the caller owns the block's lifetime
+        (:meth:`~repro.sqlengine.shm_stats.SharedStatsBlock.close`).
+
+        Falls back to ``(catalog_snapshot(), None)`` — the pickled
+        path — when shared memory is unavailable or there is nothing
+        worth sharing, so callers need no platform branch.
+        """
+        block = publish_stats(self._stats)
+        if block is None:
+            return self.catalog_snapshot(), None
+        snapshot = CatalogSnapshot(schemas=dict(self._schemas),
+                                   stats={},
+                                   params=self.params,
+                                   stats_epoch=self.stats_epoch,
+                                   stats_handle=block.handle)
+        return snapshot, block
+
     @classmethod
     def from_snapshot(cls, snapshot: CatalogSnapshot
                       ) -> "WhatIfOptimizer":
         """Rebuild a replica optimizer from a snapshot (pool-worker
-        initialization)."""
-        replica = cls(snapshot.schemas, snapshot.stats,
-                      snapshot.params)
+        initialization). Zero-copy snapshots attach read-only views
+        onto the publisher's shared-memory block; the attachment is
+        pinned on the replica so the mapping lives exactly as long as
+        the replica does."""
+        stats = snapshot.stats
+        attachment = None
+        if snapshot.stats_handle is not None:
+            attachment = attach_stats(snapshot.stats_handle)
+            stats = attachment.stats
+        replica = cls(snapshot.schemas, stats, snapshot.params)
         replica.stats_epoch = snapshot.stats_epoch
+        replica._shm_attachment = attachment
         return replica
 
     def _select_signature(self, stmt: SelectStmt,

@@ -344,6 +344,59 @@ def check_cost_service(instance: TraceInstance,
         "parallel service resolved every batch serially (cutover "
         "fired despite parallel_threshold=2)")
 
+    # Zero-copy shared statistics: the default parallel service
+    # publishes the catalog's histograms into a shared-memory block
+    # (where the platform supports it) whose lifetime tracks the
+    # pool's; a pickled-fallback service (shared_stats=False) must
+    # produce the same bits through replicas that deserialized their
+    # own statistics.
+    from ..sqlengine.shm_stats import shared_memory_available
+    if shared_memory_available():
+        result.check(
+            parallel._shm_block is not None, label,
+            "parallel service published no shared-memory stats "
+            "block despite shared memory being available")
+    with CostService(optimizer, n_workers=2, parallel_threshold=2,
+                     shared_stats=False) as pickled:
+        pickled_exec = pickled.exec_matrix(segments, configs)
+        result.check(
+            pickled._shm_block is None, label,
+            "shared_stats=False service still published a "
+            "shared-memory block")
+        result.check(
+            np.array_equal(pickled_exec, batch_exec), label,
+            "pickled-snapshot (shared_stats=False) EXEC matrix "
+            "differs from the serial build (max abs diff "
+            f"{np.max(np.abs(pickled_exec - batch_exec))!r})")
+
+    # Scheduler bit-identity: the static one-LPT-chunk-per-worker
+    # layout and an extreme work-stealing grain (one item per
+    # micro-batch — maximal chunking, arbitrary completion order)
+    # must both reproduce the serial bits through the streaming
+    # index-keyed merge.
+    with CostService(optimizer, n_workers=2, parallel_threshold=2,
+                     scheduler="static") as static:
+        static_exec = static.exec_matrix(segments, configs)
+        result.check(
+            np.array_equal(static_exec, batch_exec), label,
+            "static-scheduler EXEC matrix differs from the serial "
+            "build (max abs diff "
+            f"{np.max(np.abs(static_exec - batch_exec))!r})")
+    with CostService(optimizer, n_workers=2, parallel_threshold=2,
+                     steal_grain=1) as fine:
+        fine_exec = fine.exec_matrix(segments, configs)
+        result.check(
+            np.array_equal(fine_exec, batch_exec), label,
+            "steal_grain=1 EXEC matrix differs from the serial "
+            "build (max abs diff "
+            f"{np.max(np.abs(fine_exec - batch_exec))!r})")
+        metrics = fine.last_parallel_metrics
+        result.check(
+            metrics is not None and
+            metrics.n_chunks == metrics.n_items, label,
+            "steal_grain=1 did not submit one micro-batch per "
+            "pending item")
+
     # Epoch invalidation: bumping the optimizer's stats epoch must
     # drop the caches (new what-if calls are issued) without changing
     # values when the stats themselves are unchanged.

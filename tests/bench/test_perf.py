@@ -1,0 +1,74 @@
+"""Tests for the costing-perf bench's skewed-batch leg and straggler
+metrics (the work-stealing scheduler's measurement harness)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.perf import (SKEW_IMBALANCE_CEILING,
+                              _SKEW_NARROW_TEMPLATES,
+                              build_skew_batch, build_skew_database,
+                              run_skew_leg)
+from repro.core.costservice import CostService
+
+
+class TestSkewBatch:
+    def test_deterministic(self):
+        first = build_skew_batch(0, 2)
+        again = build_skew_batch(0, 2)
+        assert [s.sql for s in first[0]] == [s.sql for s in again[0]]
+
+    def test_reps_never_repeat_a_bound(self):
+        """Every rep must re-run the full pending workload, so no
+        constant (hence no template) may repeat across reps."""
+        sqls = [statement.sql
+                for rep in range(3)
+                for statement in build_skew_batch(rep, 3)[0]]
+        assert len(set(sqls)) == len(sqls)
+
+    def test_shape(self):
+        (segment,) = build_skew_batch(1, 2)
+        statements = list(segment)
+        assert len(statements) == 1 + _SKEW_NARROW_TEMPLATES
+        assert statements[0].sql.startswith("SELECT b FROM t")
+        assert all(s.sql.startswith("SELECT x FROM u")
+                   for s in statements[1:])
+
+    def test_wide_row_dominates_pending_items(self):
+        """The construction the leg relies on: the wide template on
+        ``t`` decomposes into two orders of magnitude more pending
+        signatures than any narrow template on ``u`` (which no
+        candidate serves, so each contributes exactly one)."""
+        from repro.core.problem import enumerate_configurations
+        from repro.bench.perf import perf_candidate_structures
+
+        db = build_skew_database(nrows=2_000, seed=3)
+        configurations = tuple(enumerate_configurations(
+            perf_candidate_structures(), max_indexes=2))
+        service = CostService(db.what_if())
+        segments = build_skew_batch(0, 1)
+        service.exec_matrix(segments, configurations)
+        narrow = _SKEW_NARROW_TEMPLATES
+        wide_signatures = service.stats.unique_signatures - narrow
+        assert wide_signatures > 50 * 1  # ~191 under the full space
+        assert service.stats.unique_templates == narrow + 1
+
+
+class TestSkewLeg:
+    def test_skew_leg_records_and_verifies(self):
+        skew, failures = run_skew_leg(nrows=2_000, seed=5, workers=2,
+                                      steal_grain=None,
+                                      enforced=False, reps=2)
+        assert failures == []
+        assert skew["imbalance_ceiling"] == SKEW_IMBALANCE_CEILING
+        assert skew["enforced"] is False
+        for scheduler in ("static", "steal"):
+            side = skew[scheduler]
+            assert side["steady_wall_seconds"] > 0.0
+            assert side["micro_batches"] >= 2
+            assert side["busy_imbalance"] >= 1.0
+            assert side["tail_median_chunk_ratio"] >= 1.0
+        # Stealing submits strictly more (smaller) chunks than the
+        # one-chunk-per-worker static layout.
+        assert skew["steal"]["micro_batches"] > \
+            skew["static"]["micro_batches"]
+        assert skew["steal_over_static"] > 0.0

@@ -18,6 +18,7 @@ from repro.core import (Configuration, ConstrainedGraphAdvisor,
                         build_cost_matrices, single_index_configurations,
                         supports_batching, sweep_k, validated_k)
 from repro.core.online import OnlineTuner
+from repro.errors import DesignError
 from repro.sqlengine import Database, IndexDef
 from repro.workload import (Segment, Statement, jitter_blocks,
                             make_paper_workload, paper_generator,
@@ -629,7 +630,9 @@ class TestPersistentPool:
 
 class RecordingPool:
     """In-process stand-in for the worker pool: records every payload
-    and runs the real module-level worker function on it."""
+    and runs the real module-level worker function on it (``submit``
+    returns already-completed futures, so the streaming
+    ``as_completed`` merge exercises the real parent-side code)."""
 
     def __init__(self):
         self.payloads = []
@@ -639,17 +642,26 @@ class RecordingPool:
         self.payloads.extend(payloads)
         return [func(payload) for payload in payloads]
 
+    def submit(self, func, payload):
+        from concurrent.futures import Future
+
+        self.payloads.append(payload)
+        future = Future()
+        future.set_result(func(payload))
+        return future
+
     def shutdown(self, wait=True):
         pass
 
 
-def _recording_service(db, monkeypatch):
+def _recording_service(db, monkeypatch, **kwargs):
     """A parallel CostService whose pool is an in-process recorder —
     same initializer, same worker function, observable wire format."""
     from repro.core import costservice as cs
 
-    service = CostService(db.what_if(), n_workers=2,
-                          parallel_threshold=2)
+    kwargs.setdefault("n_workers", 2)
+    kwargs.setdefault("parallel_threshold", 2)
+    service = CostService(db.what_if(), **kwargs)
     pool = RecordingPool()
 
     def fake_ensure_pool():
@@ -771,8 +783,10 @@ class TestChunkAssignment:
 
     def test_chunks_balanced_end_to_end(self, small_db, monkeypatch,
                                         paper_candidates):
-        """A template-skewed batch must not land on one worker."""
-        service, pool = _recording_service(small_db, monkeypatch)
+        """A template-skewed batch must not land on one worker
+        (static scheduler: exactly one LPT chunk per worker)."""
+        service, pool = _recording_service(small_db, monkeypatch,
+                                           scheduler="static")
         configs = single_index_configurations(paper_candidates)
         statements = [Statement(f"SELECT a FROM t WHERE a < {b}")
                       for b in range(1_000, 9_000, 1_000)]
@@ -786,6 +800,253 @@ class TestChunkAssignment:
         # worth of items.
         per_row = max(sizes) + min(sizes)
         assert max(sizes) - min(sizes) <= per_row // len(segments) + 1
+
+
+class TestSharedStatsLifecycle:
+    """Satellite: the zero-copy stats block's lifetime is exactly the
+    pool's — unlinked on close(), context exit, and invalidation, and
+    never shared between services."""
+
+    @staticmethod
+    def _requires_shm():
+        from repro.sqlengine.shm_stats import shared_memory_available
+        if not shared_memory_available():
+            pytest.skip("shared memory unavailable")
+
+    def _parallel(self, db, **kwargs):
+        kwargs.setdefault("n_workers", 2)
+        kwargs.setdefault("parallel_threshold", 2)
+        return CostService(db.what_if(), **kwargs)
+
+    def test_block_published_with_pool(self, small_db, small_problem):
+        self._requires_shm()
+        with self._parallel(small_db) as service:
+            assert service._shm_block is None
+            service.exec_matrix(small_problem.segments,
+                                small_problem.configurations)
+            assert service._shm_block is not None
+
+    def test_close_unlinks_block(self, small_db, small_problem):
+        self._requires_shm()
+        from repro.sqlengine.shm_stats import attach_stats
+        service = self._parallel(small_db)
+        service.exec_matrix(small_problem.segments,
+                            small_problem.configurations)
+        handle = service._shm_block.handle
+        service.close()
+        assert service._shm_block is None
+        with pytest.raises(FileNotFoundError):
+            attach_stats(handle)
+
+    def test_context_exit_unlinks_block(self, small_db,
+                                        small_problem):
+        self._requires_shm()
+        from repro.sqlengine.shm_stats import attach_stats
+        with self._parallel(small_db) as service:
+            service.exec_matrix(small_problem.segments,
+                                small_problem.configurations)
+            handle = service._shm_block.handle
+        with pytest.raises(FileNotFoundError):
+            attach_stats(handle)
+
+    def test_invalidate_rotates_block(self, small_db, small_problem):
+        """Pool invalidation releases the old block; the rebuilt pool
+        publishes a fresh one under a new name."""
+        self._requires_shm()
+        from repro.sqlengine.shm_stats import attach_stats
+        service = self._parallel(small_db)
+        try:
+            service.exec_matrix(small_problem.segments,
+                                small_problem.configurations)
+            stale = service._shm_block.handle
+            service.invalidate()
+            assert service._shm_block is None
+            with pytest.raises(FileNotFoundError):
+                attach_stats(stale)
+            service.exec_matrix(small_problem.segments,
+                                small_problem.configurations)
+            fresh = service._shm_block.handle
+            assert fresh.block_name != stale.block_name
+        finally:
+            service.close()
+
+    def test_second_service_gets_fresh_block(self, small_db,
+                                             small_problem):
+        self._requires_shm()
+        first = self._parallel(small_db)
+        second = self._parallel(small_db)
+        try:
+            first.exec_matrix(small_problem.segments,
+                              small_problem.configurations)
+            second.exec_matrix(small_problem.segments,
+                               small_problem.configurations)
+            assert first._shm_block.name != second._shm_block.name
+        finally:
+            first.close()
+            second.close()
+
+    def test_shared_stats_off_publishes_nothing(self, small_db,
+                                                small_problem):
+        with self._parallel(small_db,
+                            shared_stats=False) as service:
+            matrix = service.exec_matrix(small_problem.segments,
+                                         small_problem.configurations)
+            assert service._shm_block is None
+        serial = CostService(small_db.what_if()).exec_matrix(
+            small_problem.segments, small_problem.configurations)
+        assert np.array_equal(matrix, serial)
+
+
+class TestSchedulers:
+    """Work-stealing micro-batches vs static LPT chunks: different
+    chunking, identical bits."""
+
+    def test_invalid_scheduler_rejected(self, small_db):
+        with pytest.raises(DesignError):
+            CostService(small_db.what_if(), scheduler="round_robin")
+        with pytest.raises(DesignError):
+            CostService(small_db.what_if(), steal_grain=0)
+
+    def test_adaptive_grain_targets_chunks_per_worker(self, small_db):
+        service = CostService(small_db.what_if(), n_workers=4)
+        assert service._grain_for(160) == 10  # 16 chunks
+        assert service._grain_for(3) == 1
+        service.steal_grain = 7
+        assert service._grain_for(160) == 7
+        service.close()
+
+    def test_microbatches_preserve_heaviest_first(self, small_db,
+                                                  paper_candidates,
+                                                  monkeypatch):
+        """The flattened stream leads with the heaviest template row
+        and every pending item appears exactly once."""
+        service, pool = _recording_service(small_db, monkeypatch,
+                                           steal_grain=3)
+        configs = single_index_configurations(paper_candidates)
+        statements = [Statement(f"SELECT a FROM t WHERE a < {b}")
+                      for b in range(1_000, 6_000, 1_000)]
+        segments = tuple(Segment((statement,), i)
+                         for i, statement in enumerate(statements))
+        service.exec_matrix(segments, configs)
+        assert all(len(items) <= 3
+                   for _t, _s, items in pool.payloads)
+        indices = [index for _t, _s, items in pool.payloads
+                   for index, _tid, _sids in items]
+        assert sorted(indices) == list(range(len(indices)))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"scheduler": "static"},
+        {"steal_grain": 1},
+        {"steal_grain": 5},
+        {"shared_stats": False},
+    ])
+    def test_every_leg_matches_serial(self, small_db, small_problem,
+                                      kwargs):
+        with CostService(small_db.what_if(), n_workers=2,
+                         parallel_threshold=2, **kwargs) as service:
+            matrix = service.exec_matrix(small_problem.segments,
+                                         small_problem.configurations)
+            assert service.stats.parallel_batches >= 1
+        serial = CostService(small_db.what_if()).exec_matrix(
+            small_problem.segments, small_problem.configurations)
+        assert np.array_equal(matrix, serial)
+
+    def test_metrics_recorded_per_batch(self, small_db,
+                                        small_problem):
+        with CostService(small_db.what_if(), n_workers=2,
+                         parallel_threshold=2) as service:
+            assert service.last_parallel_metrics is None
+            service.exec_matrix(small_problem.segments,
+                                small_problem.configurations)
+            metrics = service.last_parallel_metrics
+            assert metrics is not None
+            assert metrics.scheduler == "steal"
+            assert metrics.n_chunks == len(metrics.chunk_seconds)
+            assert metrics.busy_imbalance >= 1.0
+            assert metrics.tail_median_chunk_ratio >= 1.0
+            assert service.stats.micro_batches == metrics.n_chunks
+
+    def test_summarize_parallel_metrics(self):
+        from repro.core.costservice import (ParallelBatchMetrics,
+                                            summarize_parallel_metrics)
+        a = ParallelBatchMetrics(
+            scheduler="steal", n_items=8, n_chunks=2, n_workers=2,
+            worker_busy={10: 3.0, 11: 1.0},
+            chunk_seconds=(3.0, 1.0))
+        b = ParallelBatchMetrics(
+            scheduler="steal", n_items=4, n_chunks=2, n_workers=2,
+            worker_busy={10: 1.0, 11: 3.0},
+            chunk_seconds=(1.0, 3.0))
+        summary = summarize_parallel_metrics([a, None, b])
+        assert summary["batches"] == 2
+        assert summary["micro_batches"] == 4
+        assert summary["workers_observed"] == 2
+        # Busy time sums to 4.0 per worker across batches: level.
+        assert summary["busy_imbalance"] == pytest.approx(1.0)
+        assert summary["tail_median_chunk_ratio"] == \
+            pytest.approx(1.5)
+        empty = summarize_parallel_metrics([None])
+        assert empty["batches"] == 0
+        assert empty["busy_imbalance"] is None
+
+
+class TestDeltaIdempotency:
+    """Satellite: registry-delta application must converge under any
+    chunk ordering or duplication — the work-stealing scheduler lands
+    micro-batches on workers in arbitrary interleavings."""
+
+    def test_shuffled_duplicated_chunks_converge(self, small_db,
+                                                 paper_candidates,
+                                                 monkeypatch):
+        import random
+
+        from repro.core import costservice as cs
+
+        service, pool = _recording_service(small_db, monkeypatch,
+                                           steal_grain=2)
+        configs = single_index_configurations(paper_candidates)
+
+        def segments(bounds):
+            return (Segment(tuple(
+                Statement(f"SELECT a FROM t WHERE a < {b}")
+                for b in bounds), 0),)
+
+        # First batch ships the init-time registries.
+        service.exec_matrix(segments([1_000, 2_000, 3_000]), configs)
+        init_templates = dict(cs._TEMPLATE_REGISTRY)
+        init_structures = dict(cs._STRUCTURE_REGISTRY)
+        pool.payloads.clear()
+
+        # Second batch: fresh templates travel as per-chunk deltas.
+        service.exec_matrix(
+            segments([100_000, 200_000, 300_000]), configs)
+        payloads = list(pool.payloads)
+        assert any(payload[0] for payload in payloads), \
+            "expected template deltas in the second batch"
+
+        reference: dict = {}
+        for payload in payloads:
+            _pid, _busy, results = cs._estimate_chunk(payload)
+            reference.update(results)
+
+        rng = random.Random(13)
+        for _trial in range(4):
+            # Rewind the worker registries to their init-time state,
+            # then apply the chunks shuffled and duplicated.
+            cs._TEMPLATE_REGISTRY.clear()
+            cs._TEMPLATE_REGISTRY.update(init_templates)
+            cs._STRUCTURE_REGISTRY.clear()
+            cs._STRUCTURE_REGISTRY.update(init_structures)
+            shuffled = list(payloads) * 2
+            rng.shuffle(shuffled)
+            seen: dict = {}
+            for payload in shuffled:
+                _pid, _busy, results = cs._estimate_chunk(payload)
+                for index, units in results:
+                    if index in seen:
+                        assert seen[index] == units
+                    seen[index] = units
+            assert seen == reference
 
 
 class TestAdaptiveCutover:
